@@ -1,0 +1,73 @@
+"""Ablations — Bloom-filter hash count ``b``, storage budget ``s``, and estimator choice.
+
+These are the design-choice sweeps DESIGN.md §3 lists: the paper recommends
+small ``b`` (1–2), budgets of at most 33%, and observes that no single
+intersection estimator wins everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import triangle_count
+from repro.core import EstimatorKind, ProbGraph
+from repro.evalharness import format_table, relative_count, relative_error, summarize_errors
+
+
+def test_bloom_hash_count_ablation(benchmark, bio_graph):
+    """Accuracy of TC_AND as a function of the number of hash functions b ∈ {1, 2, 4}."""
+
+    def sweep():
+        exact = float(triangle_count(bio_graph))
+        rows = []
+        for b in (1, 2, 4):
+            pg = ProbGraph(bio_graph, "bloom", storage_budget=0.25, num_hashes=b, oriented=True, seed=2)
+            rel = relative_count(float(triangle_count(pg)), exact)
+            rows.append({"b": b, "relative_count": round(rel, 4), "construction_s": round(pg.construction_seconds, 5)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: TC_AND accuracy vs number of BF hash functions"))
+    assert all(0.3 < row["relative_count"] < 3.0 for row in rows)
+
+
+def test_storage_budget_ablation(benchmark, bio_graph):
+    """Per-edge intersection error as the storage budget s sweeps {10%, 25%, 33%}."""
+
+    def sweep():
+        edges, exact = bio_graph.common_neighbors_all_edges()
+        mask = exact > 0
+        rows = []
+        for s in (0.10, 0.25, 0.33):
+            pg = ProbGraph(bio_graph, "bloom", storage_budget=s, num_hashes=2, seed=4)
+            est = pg.pair_intersections(edges[:, 0], edges[:, 1])
+            summary = summarize_errors(np.asarray(relative_error(est[mask], exact[mask])))
+            rows.append({"s": s, "median_error": round(summary.median, 4), "relative_memory": round(pg.relative_memory, 4)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: per-edge error vs storage budget s"))
+    # More budget never hurts: the median error at 33% is at most the error at 10%.
+    assert rows[2]["median_error"] <= rows[0]["median_error"] + 0.05
+
+
+def test_estimator_choice_ablation(benchmark, econ_graph):
+    """AND vs L vs OR Bloom-filter estimators on a dense graph (no single winner expected)."""
+
+    def sweep():
+        edges, exact = econ_graph.common_neighbors_all_edges()
+        mask = exact > 0
+        pg = ProbGraph(econ_graph, "bloom", storage_budget=0.25, num_hashes=2, seed=6)
+        rows = []
+        for estimator in (EstimatorKind.BF_AND, EstimatorKind.BF_LIMIT, EstimatorKind.BF_OR):
+            est = pg.pair_intersections(edges[:, 0], edges[:, 1], estimator=estimator)
+            summary = summarize_errors(np.asarray(relative_error(est[mask], exact[mask])))
+            rows.append({"estimator": str(estimator), "median_error": round(summary.median, 4)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: BF estimator choice (dense econ graph)"))
+    assert all(row["median_error"] < 1.0 for row in rows)

@@ -1,0 +1,25 @@
+"""Figure 5 — 4-clique counting trade-offs."""
+
+from __future__ import annotations
+
+from repro.evalharness import format_table
+from repro.evalharness.experiments import run_fig5
+
+
+def test_fig5_clique_rows(benchmark):
+    """Regenerate the Fig. 5 data points (small graphs: the exact algorithm is degree-cubic)."""
+    rows = benchmark.pedantic(
+        run_fig5,
+        kwargs={
+            "real_graphs": ["int-antCol5-d1", "bn-mouse_brain_1"],
+            "kronecker_scales": [],
+            "dataset_scale": 0.06,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Fig. 5: 4-clique counting, speedup / relative count / memory"))
+    assert {row["scheme"] for row in rows} == {"Exact", "ProbGraph (BF)", "ProbGraph (MH)"}
+    bf_rows = [r for r in rows if r["scheme"] == "ProbGraph (BF)"]
+    assert all(row["relative_count"] > 0.2 for row in bf_rows)

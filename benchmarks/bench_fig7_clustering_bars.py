@@ -1,0 +1,25 @@
+"""Figure 7 — per-graph Jarvis–Patrick clustering (Jaccard similarity) bars."""
+
+from __future__ import annotations
+
+from repro.evalharness import format_table
+from repro.evalharness.experiments import run_fig7
+
+
+def test_fig7_clustering_bar_rows(benchmark):
+    """Regenerate the Fig. 7 bars for a subset of the paper's graphs."""
+    rows = benchmark.pedantic(
+        run_fig7,
+        kwargs={
+            "graph_names": ["bio-CE-PG", "bio-SC-GT", "econ-beacxc"],
+            "dataset_scale": 0.12,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Fig. 7: Clustering (Jaccard) — speedup / relative cluster count / memory"))
+    pg_rows = [r for r in rows if r["scheme"].startswith("ProbGraph")]
+    assert all(row["relative_count_clipped"] <= 10.0 for row in pg_rows)
+    assert all(row["relative_memory"] <= 0.40 for row in pg_rows)
+    assert all(row["speedup_simulated_32c"] > 1.0 for row in pg_rows)

@@ -1,0 +1,43 @@
+"""Figure 8 — strong and weak scaling of TC (simulated 1–32 workers)."""
+
+from __future__ import annotations
+
+from repro.evalharness import format_series
+from repro.evalharness.experiments import run_strong_scaling, run_weak_scaling
+
+
+def test_fig8_strong_scaling(benchmark):
+    """Strong-scaling curves for TC: exact, sampling baselines, and the PG schemes."""
+    curves = benchmark.pedantic(
+        run_strong_scaling,
+        kwargs={"scale": 11, "edge_factor": 12, "worker_counts": [1, 2, 4, 8, 16, 32]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_series(curves, x_label="threads", title="Fig. 8(a/e): strong scaling, TC (simulated seconds)"))
+    # PG schemes dominate the exact baseline at every worker count, and all
+    # curves shrink monotonically with more workers (near-ideal strong scaling).
+    for p in (1, 32):
+        assert curves["ProbGraph (BF)"][p] < curves["Exact TC"][p]
+        assert curves["ProbGraph (1H)"][p] < curves["Exact TC"][p]
+    for curve in curves.values():
+        assert curve[32] < curve[1]
+
+
+def test_fig8_weak_scaling(benchmark):
+    """Weak-scaling curves: density grows faster than the worker count (m/n ≈ 4..128)."""
+    curves = benchmark.pedantic(
+        run_weak_scaling,
+        kwargs={"base_scale": 9, "worker_counts": [1, 2, 4, 8, 16, 32]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_series(curves, x_label="threads", title="Fig. 8(e): weak scaling, TC (simulated seconds)"))
+    exact = curves["Exact TC"]
+    bf = curves["ProbGraph (BF)"]
+    # The paper's observation: beyond some point the exact curve stops improving
+    # (load imbalance from the skewed density growth) while PG keeps flattening.
+    assert exact[32] > bf[32]
+    assert exact[32] / exact[1] > bf[32] / bf[1]

@@ -1,0 +1,25 @@
+"""Figure 9 — scaling of Clustering (Common Neighbors) for the PG schemes."""
+
+from __future__ import annotations
+
+from repro.evalharness import format_series
+from repro.evalharness.experiments import run_fig9
+
+
+def test_fig9_scaling_curves(benchmark):
+    """Strong and weak scaling restricted to the PG schemes, as in the paper's Fig. 9."""
+    bundles = benchmark.pedantic(
+        run_fig9,
+        kwargs={"scale": 11, "base_scale": 9, "worker_counts": [1, 2, 4, 8, 16, 32]},
+        rounds=1,
+        iterations=1,
+    )
+    strong = bundles["strong_scaling_clustering_cn"]
+    weak = bundles["weak_scaling_clustering_cn"]
+    print()
+    print(format_series(strong, x_label="threads", title="Fig. 9(a): strong scaling, Clustering (Common Neighbors)"))
+    print(format_series(weak, x_label="threads", title="Fig. 9(b): weak scaling, Clustering (Common Neighbors)"))
+    # Both PG schemes scale comparably (the paper's point): within ~2x of each other everywhere.
+    for p in (1, 8, 32):
+        ratio = strong["ProbGraph (BF)"][p] / strong["ProbGraph (1H)"][p]
+        assert 0.3 < ratio < 3.0

@@ -1,0 +1,45 @@
+"""Table IV — work/depth (and measured time) of the ``|N_u ∩ N_v|`` kernels.
+
+Benchmarks the three intersection kernels the paper compares (exact CSR,
+Bloom-filter AND, MinHash) over every edge of the workload graph, and prints
+the instantiated Table IV rows.
+"""
+
+from __future__ import annotations
+
+from repro.evalharness import format_table, table4_intersection
+
+
+def _edges(graph):
+    edges = graph.edge_array()
+    return edges[:, 0], edges[:, 1]
+
+
+def test_table4_rows(benchmark, kron_graph):
+    """Regenerate Table IV for the benchmark workload (asymptotic + instantiated costs)."""
+    rows = benchmark(table4_intersection, kron_graph, 1024, 16)
+    print()
+    print(format_table(rows, title="Table IV: work/depth of |Nu ∩ Nv| (average-degree neighborhoods)"))
+    bf = next(r for r in rows if r["scheme"] == "BF")
+    merge = next(r for r in rows if r["scheme"] == "CSR (merge)")
+    assert bf["work_ops"] < merge["work_ops"]
+
+
+def test_exact_csr_intersections(benchmark, kron_graph):
+    """Exact per-edge common-neighbor counts (the tuned CSR baseline kernel)."""
+    result = benchmark(kron_graph.common_neighbors_all_edges)
+    assert result[1].sum() >= 0
+
+
+def test_bloom_and_intersections(benchmark, pg_bloom, kron_graph):
+    """Bloom-filter AND + popcount kernel over all edges (Eq. 2)."""
+    u, v = _edges(kron_graph)
+    result = benchmark(pg_bloom.pair_intersections, u, v)
+    assert result.shape[0] == kron_graph.num_edges
+
+
+def test_onehash_intersections(benchmark, pg_onehash, kron_graph):
+    """Bottom-k (1-hash) intersection kernel over all edges."""
+    u, v = _edges(kron_graph)
+    result = benchmark(pg_onehash.pair_intersections, u, v)
+    assert result.shape[0] == kron_graph.num_edges

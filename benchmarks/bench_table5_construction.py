@@ -1,0 +1,44 @@
+"""Table V — construction cost of the probabilistic neighborhood representations."""
+
+from __future__ import annotations
+
+from repro.evalharness import format_table, table5_construction
+from repro.sketches import BloomFamily, BottomKFamily, KHashFamily, KMVFamily
+
+
+def test_table5_rows(benchmark, kron_graph):
+    """Regenerate Table V for the benchmark workload."""
+    rows = benchmark(table5_construction, kron_graph, 1024, 2, 16)
+    print()
+    print(format_table(rows, title="Table V: construction work/depth per representation"))
+    onehash = next(r for r in rows if r["representation"] == "1-Hash")
+    bf = next(r for r in rows if r["representation"] == "BF")
+    assert onehash["construction_work_ops"] <= bf["construction_work_ops"]
+
+
+def test_bloom_construction(benchmark, kron_graph):
+    """Batch construction of all Bloom-filter neighborhoods (b = 2)."""
+    family = BloomFamily(1024, 2, seed=1)
+    sketches = benchmark(family.sketch_neighborhoods, kron_graph.indptr, kron_graph.indices)
+    assert sketches.num_sets == kron_graph.num_vertices
+
+
+def test_khash_construction(benchmark, kron_graph):
+    """Batch construction of all k-hash signatures (k = 16)."""
+    family = KHashFamily(16, seed=1)
+    sketches = benchmark(family.sketch_neighborhoods, kron_graph.indptr, kron_graph.indices)
+    assert sketches.num_sets == kron_graph.num_vertices
+
+
+def test_onehash_construction(benchmark, kron_graph):
+    """Batch construction of all bottom-k sketches (k = 16)."""
+    family = BottomKFamily(16, seed=1)
+    sketches = benchmark(family.sketch_neighborhoods, kron_graph.indptr, kron_graph.indices)
+    assert sketches.num_sets == kron_graph.num_vertices
+
+
+def test_kmv_construction(benchmark, kron_graph):
+    """Batch construction of all KMV sketches (k = 16, §IX extension)."""
+    family = KMVFamily(16, seed=1)
+    sketches = benchmark(family.sketch_neighborhoods, kron_graph.indptr, kron_graph.indices)
+    assert sketches.num_sets == kron_graph.num_vertices

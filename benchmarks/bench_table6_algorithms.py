@@ -1,0 +1,44 @@
+"""Table VI — end-to-end algorithm cost: exact CSR vs PG-enhanced executions."""
+
+from __future__ import annotations
+
+from repro.algorithms import SimilarityMeasure, jarvis_patrick_clustering, triangle_count
+from repro.evalharness import format_table, table6_algorithms
+
+
+def test_table6_rows(benchmark, kron_graph):
+    """Regenerate Table VI (instantiated work/depth for TC, 4-clique, clustering, similarity)."""
+    rows = benchmark(table6_algorithms, kron_graph, 1024, 16)
+    print()
+    print(format_table(rows, title="Table VI: algorithm work/depth, CSR vs PG"))
+    assert len(rows) == 12
+
+
+def test_exact_triangle_counting(benchmark, kron_graph):
+    """Exact oriented node-iterator TC (the tuned baseline of Listing 1)."""
+    result = benchmark(triangle_count, kron_graph)
+    assert float(result) > 0
+
+
+def test_pg_bloom_triangle_counting(benchmark, pg_bloom):
+    """PG(BF) triangle counting over the same workload."""
+    result = benchmark(triangle_count, pg_bloom)
+    assert float(result) > 0
+
+
+def test_pg_onehash_triangle_counting(benchmark, pg_onehash):
+    """PG(1-Hash) triangle counting over the same workload."""
+    result = benchmark(triangle_count, pg_onehash)
+    assert float(result) > 0
+
+
+def test_exact_clustering(benchmark, kron_graph):
+    """Exact Jarvis–Patrick clustering (Common Neighbors similarity)."""
+    result = benchmark(jarvis_patrick_clustering, kron_graph, SimilarityMeasure.COMMON_NEIGHBORS, 2.0)
+    assert result.num_clusters >= 1
+
+
+def test_pg_bloom_clustering(benchmark, pg_bloom):
+    """PG(BF) Jarvis–Patrick clustering (Common Neighbors similarity)."""
+    result = benchmark(jarvis_patrick_clustering, pg_bloom, SimilarityMeasure.COMMON_NEIGHBORS, 2.0)
+    assert result.num_clusters >= 1

@@ -1,0 +1,48 @@
+"""Table VII — comparison of triangle-count estimators (ProbGraph vs prior work)."""
+
+from __future__ import annotations
+
+from repro.baselines import colorful_triangle_count, doulion_triangle_count
+from repro.core import ProbGraph, estimate_triangles
+from repro.evalharness import format_table, table7_tc_estimators
+
+
+def test_table7_property_matrix(benchmark):
+    """Regenerate the qualitative Table VII property matrix."""
+    rows = benchmark(table7_tc_estimators)
+    print()
+    print(format_table(rows, title="Table VII: TC estimator properties"))
+    assert len(rows) == 12
+
+
+def test_tc_and_estimator(benchmark, kron_graph):
+    """ProbGraph TC_AND (Bloom filter) estimation time."""
+    pg = ProbGraph(kron_graph, "bloom", storage_budget=0.25, num_hashes=2, seed=5)
+    result = benchmark(estimate_triangles, pg)
+    assert result.estimate >= 0
+
+
+def test_tc_khash_estimator(benchmark, kron_graph):
+    """ProbGraph TC_kH (k-hash MinHash, the MLE estimator) estimation time."""
+    pg = ProbGraph(kron_graph, "khash", storage_budget=0.25, seed=5)
+    result = benchmark(estimate_triangles, pg)
+    assert result.estimate >= 0
+
+
+def test_tc_1hash_estimator(benchmark, kron_graph):
+    """ProbGraph TC_1H (bottom-k MinHash) estimation time."""
+    pg = ProbGraph(kron_graph, "1hash", storage_budget=0.25, seed=5)
+    result = benchmark(estimate_triangles, pg)
+    assert result.estimate >= 0
+
+
+def test_doulion_estimator(benchmark, kron_graph):
+    """Doulion edge-sampling baseline (p = 0.25)."""
+    result = benchmark(doulion_triangle_count, kron_graph, 0.25, 1)
+    assert float(result) >= 0
+
+
+def test_colorful_estimator(benchmark, kron_graph):
+    """Colorful TC baseline (N = 2 colors)."""
+    result = benchmark(colorful_triangle_count, kron_graph, 2, 1)
+    assert float(result) >= 0

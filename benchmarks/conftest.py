@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark uses deterministic, laptop-sized workloads so that the full
+suite (``pytest benchmarks/ --benchmark-only``) runs in a few minutes while
+preserving the qualitative shapes of the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProbGraph
+from repro.graph import kronecker_graph, load_dataset
+
+
+@pytest.fixture(scope="session")
+def kron_graph():
+    """The default synthetic workload (skewed power-law Kronecker graph)."""
+    return kronecker_graph(scale=11, edge_factor=8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def bio_graph():
+    """Stand-in for the paper's bio-CE-PG gene-association graph."""
+    return load_dataset("bio-CE-PG", scale=0.2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def econ_graph():
+    """Stand-in for the paper's dense econ-beacxc graph."""
+    return load_dataset("econ-beacxc", scale=0.2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def pg_bloom(kron_graph):
+    """Bloom-filter ProbGraph over the Kronecker workload (b = 2, s = 25%)."""
+    return ProbGraph(kron_graph, representation="bloom", storage_budget=0.25, num_hashes=2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def pg_onehash(kron_graph):
+    """1-hash MinHash ProbGraph over the Kronecker workload (s = 25%)."""
+    return ProbGraph(kron_graph, representation="1hash", storage_budget=0.25, seed=3)

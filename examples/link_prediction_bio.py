@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Link prediction on a gene-association-style network (Listing 5 protocol).
+
+The paper's biological datasets are gene functional-association networks; link
+prediction on such graphs suggests unknown gene–gene associations.  This example
+uses the synthetic stand-in for ``bio-CE-PG``, removes 10% of the edges, scores
+candidate pairs with several similarity measures — exactly and through
+ProbGraph — and reports precision/recall of the top predictions.
+
+Run with:  python examples/link_prediction_bio.py
+"""
+
+from repro.algorithms import SimilarityMeasure, evaluate_link_prediction
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("bio-CE-PG", scale=0.25, seed=5)
+    print(f"gene-association stand-in: n={graph.num_vertices}, m={graph.num_edges}")
+    print(f"{'measure':<22} {'scoring':<16} {'precision':>10} {'recall':>8}")
+
+    for measure in (
+        SimilarityMeasure.JACCARD,
+        SimilarityMeasure.COMMON_NEIGHBORS,
+        SimilarityMeasure.OVERLAP,
+        SimilarityMeasure.ADAMIC_ADAR,
+    ):
+        exact = evaluate_link_prediction(graph, measure, holdout_fraction=0.1, seed=42)
+        print(f"{measure.value:<22} {'exact':<16} {exact.precision:>10.3f} {exact.recall:>8.3f}")
+        if measure in (SimilarityMeasure.ADAMIC_ADAR,):
+            continue  # needs common-neighbor identities; exact-only
+        for representation in ("bloom", "1hash"):
+            approx = evaluate_link_prediction(
+                graph,
+                measure,
+                holdout_fraction=0.1,
+                use_probgraph=True,
+                representation=representation,
+                storage_budget=0.25,
+                seed=42,
+            )
+            print(
+                f"{measure.value:<22} {'pg-' + representation:<16} "
+                f"{approx.precision:>10.3f} {approx.recall:>8.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Scaling study: strong/weak scaling curves and construction-cost analysis.
+
+Reproduces, at reduced scale, the studies of §VIII-E (Figs. 8–9) and §VIII-G:
+the simulated 1–32-worker runtimes of the exact and ProbGraph triangle-counting
+kernels, the weak-scaling series where density grows with the worker count, and
+the measured construction-vs-execution time ratios.
+
+Run with:  python examples/scaling_study.py
+"""
+
+from repro.evalharness import format_series, format_table
+from repro.evalharness.experiments import run_construction_costs, run_strong_scaling, run_weak_scaling
+
+
+def main() -> None:
+    strong = run_strong_scaling(scale=11, edge_factor=12, worker_counts=[1, 2, 4, 8, 16, 32])
+    print(format_series(strong, x_label="threads", title="Strong scaling, Triangle Counting (simulated seconds)"))
+    print()
+
+    weak = run_weak_scaling(base_scale=9, worker_counts=[1, 2, 4, 8, 16, 32])
+    print(format_series(weak, x_label="threads", title="Weak scaling, Triangle Counting (simulated seconds)"))
+    print()
+
+    costs = run_construction_costs(graph_names=["bio-CE-PG", "econ-beacxc"], dataset_scale=0.2)
+    print(format_table(costs, title="Construction cost vs one algorithm execution (measured seconds)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim for environments without the `wheel` package (offline editable installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — ProbGraph: high-performance approximate graph mining with probabilistic set representations.
+
+Reproduction of Besta et al., "ProbGraph" (SC 2022).  The public API mirrors
+the paper's usage pattern (Listing 6): build a :class:`~repro.graph.CSRGraph`,
+wrap it in a :class:`~repro.core.ProbGraph` with a chosen representation and
+storage budget, and run the mining algorithms in :mod:`repro.algorithms`
+against either object.
+
+Quick start::
+
+    from repro import CSRGraph, ProbGraph, triangle_count
+    from repro.graph import kronecker_graph
+
+    g = kronecker_graph(scale=12, edge_factor=8, seed=1)
+    pg = ProbGraph(g, representation="bloom", storage_budget=0.25)
+    exact = triangle_count(g)
+    approx = triangle_count(pg)
+    print(float(approx) / float(exact))
+"""
+
+from .algorithms import (
+    SimilarityMeasure,
+    evaluate_link_prediction,
+    four_clique_count,
+    jarvis_patrick_clustering,
+    local_clustering_coefficients,
+    similarity,
+    similarity_scores,
+    triangle_count,
+    triangle_count_exact,
+)
+from .core import EstimatorKind, ProbGraph, Representation, estimate_triangles
+from .graph import CSRGraph, kronecker_graph, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CSRGraph",
+    "ProbGraph",
+    "Representation",
+    "EstimatorKind",
+    "triangle_count",
+    "triangle_count_exact",
+    "estimate_triangles",
+    "four_clique_count",
+    "jarvis_patrick_clustering",
+    "similarity",
+    "similarity_scores",
+    "SimilarityMeasure",
+    "evaluate_link_prediction",
+    "local_clustering_coefficients",
+    "kronecker_graph",
+    "load_dataset",
+]

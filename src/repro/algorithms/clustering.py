@@ -1,0 +1,110 @@
+"""Jarvis–Patrick graph clustering (Listing 4).
+
+For every edge ``(u, v)``, a vertex-similarity score is computed; edges whose
+score exceeds a user threshold ``τ`` are kept and the connected components of
+the kept-edge subgraph are the clusters.  The paper evaluates three similarity
+variants — Common Neighbors, Jaccard, and Overlap — all of which are built on
+``|N_u ∩ N_v|`` and therefore PG-accelerable.
+
+The accuracy metric of Figs. 4 and 7 is the *relative cluster count*
+(``clusters_PG / clusters_exact``), which this module's result object exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.estimators import EstimatorKind
+from ..core.probgraph import ProbGraph
+from ..graph.csr import CSRGraph
+from .similarity import SimilarityMeasure, similarity_scores
+
+__all__ = ["ClusteringResult", "jarvis_patrick_clustering", "default_threshold"]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of a Jarvis–Patrick clustering run."""
+
+    labels: np.ndarray
+    num_clusters: int
+    kept_edges: np.ndarray
+    threshold: float
+    measure: str
+
+    @property
+    def num_kept_edges(self) -> int:
+        """Number of edges whose similarity exceeded the threshold."""
+        return int(self.kept_edges.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes of all clusters, descending."""
+        _, counts = np.unique(self.labels, return_counts=True)
+        return np.sort(counts)[::-1]
+
+
+def default_threshold(measure: SimilarityMeasure | str) -> float:
+    """Reasonable default thresholds ``τ`` per similarity measure.
+
+    The paper treats ``τ`` as a user parameter; these defaults keep a
+    meaningful fraction of edges on the evaluation graphs (ratio measures use a
+    fraction in [0,1], Common Neighbors uses an absolute count).
+    """
+    measure = SimilarityMeasure(measure)
+    if measure is SimilarityMeasure.COMMON_NEIGHBORS:
+        return 2.0
+    if measure is SimilarityMeasure.JACCARD:
+        return 0.1
+    if measure is SimilarityMeasure.OVERLAP:
+        return 0.3
+    return 0.5
+
+
+def jarvis_patrick_clustering(
+    graph: CSRGraph | ProbGraph,
+    measure: SimilarityMeasure | str = SimilarityMeasure.COMMON_NEIGHBORS,
+    threshold: float | None = None,
+    estimator: EstimatorKind | str | None = None,
+) -> ClusteringResult:
+    """Cluster a graph by thresholding edge similarities (Listing 4).
+
+    Parameters
+    ----------
+    graph:
+        CSR graph (exact similarities) or ProbGraph (estimated similarities).
+    measure:
+        One of the cardinality-based similarity measures.
+    threshold:
+        Similarity threshold ``τ``; edges with score strictly greater are kept.
+        Defaults to :func:`default_threshold` for the chosen measure.
+    estimator:
+        Optional override of the ProbGraph intersection estimator.
+    """
+    measure = SimilarityMeasure(measure)
+    if threshold is None:
+        threshold = default_threshold(measure)
+    base = graph.graph if isinstance(graph, ProbGraph) else graph
+    if not isinstance(base, CSRGraph):
+        raise TypeError(f"expected CSRGraph or ProbGraph, got {type(graph).__name__}")
+
+    edges = base.edge_array()
+    n = base.num_vertices
+    if edges.shape[0] == 0:
+        return ClusteringResult(np.arange(n, dtype=np.int64), n, edges, float(threshold), measure.value)
+
+    scores = similarity_scores(graph, edges, measure=measure, estimator=estimator)
+    kept = edges[scores > threshold]
+
+    if kept.shape[0] == 0:
+        labels = np.arange(n, dtype=np.int64)
+        return ClusteringResult(labels, n, kept, float(threshold), measure.value)
+
+    rows = np.concatenate([kept[:, 0], kept[:, 1]])
+    cols = np.concatenate([kept[:, 1], kept[:, 0]])
+    data = np.ones(rows.shape[0], dtype=np.int8)
+    adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    num_clusters, labels = sp.csgraph.connected_components(adj, directed=False)
+    return ClusteringResult(labels.astype(np.int64), int(num_clusters), kept, float(threshold), measure.value)

@@ -1,0 +1,104 @@
+"""Triangle-derived cohesion measures (§III-A real-world applications).
+
+* **Network cohesion** of a vertex subset ``S``: ``TC[S] / C(|S|, 3)`` — the
+  fraction of vertex triples of ``S`` that form triangles.
+* **Clustering coefficient** of ``S``: ``3 · TC[S] / C(|S|, 3)`` (the paper's
+  community-discovery formulation) and the standard global transitivity
+  ``3 · TC / #wedges``.
+* **Local clustering coefficients**: per-vertex ``2 t_v / (d_v (d_v - 1))``.
+
+Every measure can be computed exactly (CSR) or approximately (ProbGraph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.estimators import EstimatorKind
+from ..core.probgraph import ProbGraph
+from ..graph.csr import CSRGraph
+from .triangle_count import local_triangle_counts, triangle_count
+
+__all__ = [
+    "network_cohesion",
+    "clustering_coefficient",
+    "global_transitivity",
+    "local_clustering_coefficients",
+]
+
+
+def _triples(count: int) -> float:
+    """Number of vertex triples ``C(count, 3)``."""
+    if count < 3:
+        return 0.0
+    return count * (count - 1) * (count - 2) / 6.0
+
+
+def _subset_view(graph: CSRGraph | ProbGraph, subset: np.ndarray | None):
+    """Return (object to count triangles on, number of vertices considered)."""
+    base = graph.graph if isinstance(graph, ProbGraph) else graph
+    if subset is None:
+        return graph, base.num_vertices
+    subset = np.unique(np.asarray(subset, dtype=np.int64))
+    sub = base.subgraph(subset)
+    if isinstance(graph, ProbGraph):
+        sub = ProbGraph(
+            sub,
+            representation=graph.representation,
+            storage_budget=graph.storage_budget,
+            num_hashes=graph.num_hashes,
+            num_bits=graph.num_bits,
+            k=graph.k,
+            oriented=graph.oriented,
+            seed=graph.seed,
+            estimator=graph.estimator,
+        )
+    return sub, subset.shape[0]
+
+
+def network_cohesion(
+    graph: CSRGraph | ProbGraph,
+    subset: np.ndarray | None = None,
+    estimator: EstimatorKind | str | None = None,
+) -> float:
+    """Cohesion ``TC[S] / C(|S|, 3)`` of the subset ``S`` (whole graph when omitted)."""
+    view, count = _subset_view(graph, subset)
+    denom = _triples(count)
+    if denom == 0:
+        return 0.0
+    tc = float(triangle_count(view, estimator=estimator))
+    return tc / denom
+
+
+def clustering_coefficient(
+    graph: CSRGraph | ProbGraph,
+    subset: np.ndarray | None = None,
+    estimator: EstimatorKind | str | None = None,
+) -> float:
+    """The paper's community measure ``3 · TC[S] / C(|S|, 3)``."""
+    return 3.0 * network_cohesion(graph, subset, estimator)
+
+
+def global_transitivity(
+    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+) -> float:
+    """Standard global transitivity ``3 · TC / #wedges``."""
+    base = graph.graph if isinstance(graph, ProbGraph) else graph
+    degs = base.degrees.astype(np.float64)
+    wedges = float(np.sum(degs * (degs - 1) / 2.0))
+    if wedges == 0:
+        return 0.0
+    tc = float(triangle_count(graph, estimator=estimator))
+    return min(3.0 * tc / wedges, 1.0) if tc >= 0 else 0.0
+
+
+def local_clustering_coefficients(
+    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+) -> np.ndarray:
+    """Per-vertex clustering coefficients ``2 t_v / (d_v (d_v - 1))`` (0 for degree < 2)."""
+    base = graph.graph if isinstance(graph, ProbGraph) else graph
+    tri = local_triangle_counts(graph, estimator=estimator)
+    degs = base.degrees.astype(np.float64)
+    denom = degs * (degs - 1.0)
+    out = np.divide(2.0 * tri, denom, out=np.zeros_like(tri), where=denom > 0)
+    return np.clip(out, 0.0, 1.0)

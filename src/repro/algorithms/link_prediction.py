@@ -1,0 +1,149 @@
+"""Link-prediction effectiveness testing (Listing 5).
+
+The protocol: remove a random subset ``E_rndm`` of edges from the graph, score
+candidate vertex pairs on the sparsified graph ``E_sparse`` with a vertex-
+similarity measure, predict the top-scoring pairs, and report how many of them
+are in ``E_rndm`` (the held-out truth).  All cardinality-based similarity
+measures can be scored either exactly or through a ProbGraph built on the
+sparsified graph.
+
+Scoring every pair in ``(V × V) \\ E_sparse`` is quadratic; like practical link
+predictors we restrict candidates to vertex pairs at distance two in the
+sparsified graph (pairs with no common neighbor score zero under all the
+measures used here, so nothing is lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimators import EstimatorKind
+from ..core.probgraph import ProbGraph, Representation
+from ..graph.csr import CSRGraph
+from .similarity import SimilarityMeasure, similarity_scores
+
+__all__ = ["LinkPredictionResult", "split_edges", "candidate_pairs", "evaluate_link_prediction"]
+
+
+@dataclass(frozen=True)
+class LinkPredictionResult:
+    """Outcome of one link-prediction evaluation run (Listing 5)."""
+
+    effectiveness: int
+    num_predictions: int
+    num_holdout: int
+    measure: str
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predictions that were actually held-out edges."""
+        return self.effectiveness / self.num_predictions if self.num_predictions else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of held-out edges recovered by the predictions."""
+        return self.effectiveness / self.num_holdout if self.num_holdout else 0.0
+
+
+def split_edges(graph: CSRGraph, holdout_fraction: float = 0.1, seed: int = 0) -> tuple[CSRGraph, np.ndarray]:
+    """Split a graph into ``(E_sparse, E_rndm)``: the sparsified graph and the removed edges."""
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must lie in (0, 1)")
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return graph, np.empty((0, 2), dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    num_remove = max(int(edges.shape[0] * holdout_fraction), 1)
+    removed_idx = rng.choice(edges.shape[0], size=num_remove, replace=False)
+    removed = edges[removed_idx]
+    sparse = graph.remove_edges(removed)
+    return sparse, removed
+
+
+def candidate_pairs(sparse: CSRGraph, max_candidates: int | None = None, seed: int = 0) -> np.ndarray:
+    """Non-adjacent vertex pairs at distance two in the sparsified graph.
+
+    These are the only pairs that can receive a positive score from the
+    common-neighbor-based measures of Listing 3.
+    """
+    adj = sparse.adjacency_matrix()
+    if adj.nnz == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    two_hop = (adj @ adj).tocoo()
+    u, v = two_hop.row, two_hop.col
+    mask = u < v
+    u, v = u[mask], v[mask]
+    # Drop pairs that are already edges in the sparsified graph.
+    n = sparse.num_vertices
+    pair_keys = u.astype(np.int64) * n + v.astype(np.int64)
+    edges = sparse.edge_array()
+    edge_keys = edges[:, 0] * n + edges[:, 1]
+    keep = ~np.isin(pair_keys, edge_keys)
+    pairs = np.stack([u[keep], v[keep]], axis=1).astype(np.int64)
+    if max_candidates is not None and pairs.shape[0] > max_candidates:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(pairs.shape[0], size=max_candidates, replace=False)
+        pairs = pairs[idx]
+    return pairs
+
+
+def evaluate_link_prediction(
+    graph: CSRGraph,
+    measure: SimilarityMeasure | str = SimilarityMeasure.JACCARD,
+    holdout_fraction: float = 0.1,
+    use_probgraph: bool = False,
+    representation: Representation | str = Representation.BLOOM,
+    storage_budget: float = 0.25,
+    estimator: EstimatorKind | str | None = None,
+    max_candidates: int | None = 200_000,
+    seed: int = 0,
+) -> LinkPredictionResult:
+    """Run the full Listing 5 protocol and return the effectiveness ``|E_predict ∩ E_rndm|``.
+
+    Parameters
+    ----------
+    graph:
+        The full graph with known links.
+    measure:
+        Similarity measure used as the prediction score ``S``.
+    holdout_fraction:
+        Fraction of edges removed to form ``E_rndm``.
+    use_probgraph:
+        Score candidates with a ProbGraph built on the sparsified graph instead
+        of exact intersections.
+    representation, storage_budget, estimator:
+        ProbGraph parameters when ``use_probgraph`` is set.
+    max_candidates:
+        Cap on the number of distance-two candidate pairs (sampled when exceeded).
+    seed:
+        Controls the edge split and candidate sampling.
+    """
+    measure = SimilarityMeasure(measure)
+    sparse, removed = split_edges(graph, holdout_fraction, seed)
+    num_holdout = removed.shape[0]
+    pairs = candidate_pairs(sparse, max_candidates=max_candidates, seed=seed)
+    if pairs.shape[0] == 0 or num_holdout == 0:
+        return LinkPredictionResult(0, 0, num_holdout, measure.value)
+
+    scorer: CSRGraph | ProbGraph
+    if use_probgraph:
+        scorer = ProbGraph(
+            sparse, representation=representation, storage_budget=storage_budget, seed=seed, estimator=estimator
+        )
+    else:
+        scorer = sparse
+    scores = similarity_scores(scorer, pairs, measure=measure, estimator=estimator)
+
+    num_predictions = min(num_holdout, pairs.shape[0])
+    top = np.argsort(scores)[::-1][:num_predictions]
+    predicted = pairs[top]
+
+    n = graph.num_vertices
+    predicted_keys = predicted[:, 0] * n + predicted[:, 1]
+    removed_lo = np.minimum(removed[:, 0], removed[:, 1])
+    removed_hi = np.maximum(removed[:, 0], removed[:, 1])
+    removed_keys = removed_lo * n + removed_hi
+    effectiveness = int(np.isin(predicted_keys, removed_keys).sum())
+    return LinkPredictionResult(effectiveness, num_predictions, num_holdout, measure.value)

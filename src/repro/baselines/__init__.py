@@ -1,0 +1,21 @@
+"""Comparison baselines: Doulion, Colorful TC, and guarantee-free heuristics (§VIII)."""
+
+from .colorful import ColorfulResult, colorful_triangle_count
+from .doulion import DoulionResult, doulion_triangle_count
+from .heuristics import (
+    HeuristicResult,
+    auto_approximate_triangle_count,
+    partial_processing_triangle_count,
+    reduced_execution_triangle_count,
+)
+
+__all__ = [
+    "DoulionResult",
+    "doulion_triangle_count",
+    "ColorfulResult",
+    "colorful_triangle_count",
+    "HeuristicResult",
+    "reduced_execution_triangle_count",
+    "partial_processing_triangle_count",
+    "auto_approximate_triangle_count",
+]

@@ -1,0 +1,44 @@
+"""Doulion: triangle counting with a coin (Tsourakakis et al., KDD'09) — §VIII-A baseline.
+
+Each edge is kept independently with probability ``p``; the triangles of the
+sparsified graph are counted exactly and the count is scaled by ``1/p^3``.  The
+estimator is unbiased and consistent but offers no concentration bound in the
+form ProbGraph provides (Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.triangle_count import triangle_count_exact
+from ..graph.csr import CSRGraph
+
+__all__ = ["DoulionResult", "doulion_triangle_count"]
+
+
+@dataclass(frozen=True)
+class DoulionResult:
+    """Doulion estimate plus the sparsified-graph size it was computed on."""
+
+    estimate: float
+    keep_probability: float
+    kept_edges: int
+
+    def __float__(self) -> float:
+        return self.estimate
+
+
+def doulion_triangle_count(graph: CSRGraph, keep_probability: float = 0.25, seed: int = 0) -> DoulionResult:
+    """Estimate TC by sampling each edge with probability ``p`` and scaling by ``1/p^3``."""
+    if not 0.0 < keep_probability <= 1.0:
+        raise ValueError(f"keep_probability must lie in (0, 1], got {keep_probability}")
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return DoulionResult(0.0, keep_probability, 0)
+    rng = np.random.default_rng(seed)
+    keep = rng.random(edges.shape[0]) < keep_probability
+    sparse = CSRGraph.from_edges(edges[keep], num_vertices=graph.num_vertices)
+    tc = float(triangle_count_exact(sparse))
+    return DoulionResult(tc / keep_probability**3, keep_probability, int(keep.sum()))

@@ -1,0 +1,43 @@
+"""Core ProbGraph contribution: estimators, bounds, budget resolution, and the ProbGraph class."""
+
+from .budget import BudgetResolution, relative_memory, resolve_bloom_bits, resolve_minhash_k
+from .estimators import (
+    EstimatorKind,
+    bf_intersection_and,
+    bf_intersection_limit,
+    bf_intersection_or,
+    bf_size_papapetrou,
+    bf_size_swamidass,
+    jaccard_to_intersection,
+    kmv_intersection,
+    kmv_intersection_exact_sizes,
+    kmv_size,
+    minhash_intersection,
+    minhash_jaccard,
+)
+from .probgraph import ProbGraph, Representation
+from .tc_estimators import TriangleCountEstimate, estimate_triangles, exact_triangles_reference
+
+__all__ = [
+    "ProbGraph",
+    "Representation",
+    "EstimatorKind",
+    "BudgetResolution",
+    "resolve_bloom_bits",
+    "resolve_minhash_k",
+    "relative_memory",
+    "bf_size_swamidass",
+    "bf_size_papapetrou",
+    "bf_intersection_and",
+    "bf_intersection_limit",
+    "bf_intersection_or",
+    "minhash_jaccard",
+    "minhash_intersection",
+    "jaccard_to_intersection",
+    "kmv_size",
+    "kmv_intersection",
+    "kmv_intersection_exact_sizes",
+    "TriangleCountEstimate",
+    "estimate_triangles",
+    "exact_triangles_reference",
+]

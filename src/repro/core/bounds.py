@@ -1,0 +1,246 @@
+"""Theoretical accuracy guarantees: MSE and concentration bounds (§IV, §VII, Appendix).
+
+These functions implement the paper's quality bounds so that users can compute,
+for their chosen sketch parameters, how far an estimate may plausibly deviate
+from the truth:
+
+* **Bloom filters** — the MSE bound of Proposition IV.1 / A.1, the general
+  linear-estimator bound of Proposition A.2, and the Chebyshev-style deviation
+  bound of Eq. (3).
+* **MinHash (k-hash and 1-hash)** — the exponential (sub-Gaussian / Hoeffding–
+  Serfling) deviation bounds of Propositions IV.2 and IV.3.
+* **Triangle counting** — the three bounds of Theorem VII.1 (BF polynomial
+  bound, MinHash exponential bound, and the tighter chromatic-partition
+  MinHash bound using Vizing's theorem).
+* **KMV** — the regularized-incomplete-beta deviation probabilities of
+  Propositions A.7–A.9.
+
+All bounds return probabilities clipped to ``[0, 1]`` (a concentration bound
+larger than 1 is vacuous but not wrong).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import betainc
+
+__all__ = [
+    "bf_assumption_satisfied",
+    "bf_and_mse_bound",
+    "bf_and_deviation_bound",
+    "bf_linear_mse_bound",
+    "bf_linear_deviation_bound",
+    "minhash_deviation_bound",
+    "minhash_required_k",
+    "tc_deviation_bound_bf",
+    "tc_deviation_bound_minhash",
+    "tc_deviation_bound_minhash_chromatic",
+    "kmv_deviation_probability",
+    "kmv_intersection_deviation_bound",
+]
+
+
+def _clip_probability(p):
+    return float(np.clip(p, 0.0, 1.0)) if np.ndim(p) == 0 else np.clip(p, 0.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Bloom filters
+# ---------------------------------------------------------------------------
+def bf_assumption_satisfied(set_size: float, num_bits: int, num_hashes: int) -> bool:
+    """Check the regime condition of Prop. IV.1: ``b·|X∩Y| <= 0.499 · B · log B``."""
+    if num_bits <= 0 or num_hashes <= 0:
+        raise ValueError("num_bits and num_hashes must be positive")
+    return bool(num_hashes * set_size <= 0.499 * num_bits * np.log(num_bits))
+
+
+def bf_and_mse_bound(intersection_size: float, num_bits: int, num_hashes: int) -> float:
+    """MSE upper bound for the AND estimator — Proposition IV.1 (the ``1+o(1)`` factor dropped).
+
+    ``MSE <= e^{|X∩Y| b / (B-1)} B / b^2 - B / b^2 - |X∩Y| / b``
+    """
+    if num_bits <= 1 or num_hashes <= 0:
+        raise ValueError("num_bits must exceed 1 and num_hashes must be positive")
+    size = float(intersection_size)
+    b = float(num_hashes)
+    big_b = float(num_bits)
+    bound = np.exp(size * b / (big_b - 1.0)) * big_b / b**2 - big_b / b**2 - size / b
+    return float(max(bound, 0.0))
+
+
+def bf_and_deviation_bound(
+    t: float | np.ndarray, intersection_size: float, num_bits: int, num_hashes: int
+) -> float | np.ndarray:
+    """Deviation probability bound for the AND estimator — Eq. (3) (Chebyshev on the MSE)."""
+    t_arr = np.asarray(t, dtype=np.float64)
+    if np.any(t_arr <= 0):
+        raise ValueError("deviation distance t must be positive")
+    mse = bf_and_mse_bound(intersection_size, num_bits, num_hashes)
+    return _clip_probability(mse / t_arr**2)
+
+
+def bf_linear_mse_bound(
+    set_size: float, num_bits: int, num_hashes: int, scale: float | None = None
+) -> float:
+    """MSE bound for any linear-in-ones estimator ``δ · B_1`` — Proposition A.2.
+
+    With ``scale = 1/b`` this bounds the limiting estimator ``|X∩Y|^L`` of Eq. (4).
+    """
+    if num_bits <= 0 or num_hashes <= 0:
+        raise ValueError("num_bits and num_hashes must be positive")
+    delta = 1.0 / num_hashes if scale is None else float(scale)
+    size = float(set_size)
+    big_b = float(num_bits)
+    b = float(num_hashes)
+    exp1 = np.exp(-size * b / big_b)
+    exp2 = np.exp(-2.0 * size * b / big_b)
+    bias_sq = (size - delta * big_b * (1.0 - exp1)) ** 2
+    variance = delta**2 * big_b * (exp1 - (1.0 + size * b / big_b) * exp2)
+    return float(bias_sq + max(variance, 0.0))
+
+
+def bf_linear_deviation_bound(
+    t: float | np.ndarray, set_size: float, num_bits: int, num_hashes: int, scale: float | None = None
+) -> float | np.ndarray:
+    """Chebyshev deviation bound for linear Bloom-filter estimators — Proposition A.2."""
+    t_arr = np.asarray(t, dtype=np.float64)
+    if np.any(t_arr <= 0):
+        raise ValueError("deviation distance t must be positive")
+    mse = bf_linear_mse_bound(set_size, num_bits, num_hashes, scale)
+    return _clip_probability(mse / t_arr**2)
+
+
+# ---------------------------------------------------------------------------
+# MinHash
+# ---------------------------------------------------------------------------
+def minhash_deviation_bound(
+    t: float | np.ndarray, size_x: float, size_y: float, k: int
+) -> float | np.ndarray:
+    """Exponential deviation bound for both MinHash variants — Propositions IV.2 / IV.3.
+
+    ``P(|est - |X∩Y|| >= t) <= 2 exp(-2 k t^2 / (|X|+|Y|)^2)``
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    total = float(size_x) + float(size_y)
+    if total <= 0:
+        raise ValueError("set sizes must be positive")
+    t_arr = np.asarray(t, dtype=np.float64)
+    if np.any(t_arr < 0):
+        raise ValueError("deviation distance t must be non-negative")
+    return _clip_probability(2.0 * np.exp(-2.0 * k * t_arr**2 / total**2))
+
+
+def minhash_required_k(t: float, size_x: float, size_y: float, confidence: float = 0.95) -> int:
+    """Smallest ``k`` guaranteeing ``P(|est - truth| < t) >= confidence`` by Prop. IV.2.
+
+    Useful for choosing the sketch size from a target accuracy rather than a
+    storage budget.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    if t <= 0:
+        raise ValueError("t must be positive")
+    total = float(size_x) + float(size_y)
+    delta = 1.0 - confidence
+    k = total**2 * np.log(2.0 / delta) / (2.0 * t**2)
+    return int(np.ceil(k))
+
+
+# ---------------------------------------------------------------------------
+# Triangle counting (Theorem VII.1)
+# ---------------------------------------------------------------------------
+def tc_deviation_bound_bf(
+    t: float | np.ndarray, num_edges: int, max_degree: int, num_bits: int, num_hashes: int
+) -> float | np.ndarray:
+    """BF-based TC deviation bound — first statement of Theorem VII.1.
+
+    ``P(|TC - TC_AND| >= t) <= 2 m^2 (e^{Δb/(B-1)} B/b^2 - B/b^2 - Δ/b) / (9 t^2)``
+    """
+    if num_edges < 0 or max_degree < 0:
+        raise ValueError("num_edges and max_degree must be non-negative")
+    t_arr = np.asarray(t, dtype=np.float64)
+    if np.any(t_arr <= 0):
+        raise ValueError("deviation distance t must be positive")
+    per_edge = bf_and_mse_bound(max_degree, num_bits, num_hashes)
+    return _clip_probability(2.0 * num_edges**2 * per_edge / (9.0 * t_arr**2))
+
+
+def tc_deviation_bound_minhash(t: float | np.ndarray, degrees: np.ndarray, k: int) -> float | np.ndarray:
+    """MinHash TC deviation bound — second statement of Theorem VII.1.
+
+    ``P(|TC - TC_1H| >= t) <= 2 exp(-18 k t^2 / (Σ_v d(v)^2)^2)``
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    degs = np.asarray(degrees, dtype=np.float64)
+    denom = float(np.sum(degs**2)) ** 2
+    if denom == 0:
+        return _clip_probability(np.zeros_like(np.asarray(t, dtype=np.float64)))
+    t_arr = np.asarray(t, dtype=np.float64)
+    if np.any(t_arr < 0):
+        raise ValueError("deviation distance t must be non-negative")
+    return _clip_probability(2.0 * np.exp(-18.0 * k * t_arr**2 / denom))
+
+
+def tc_deviation_bound_minhash_chromatic(
+    t: float | np.ndarray, degrees: np.ndarray, k: int, max_degree: int | None = None
+) -> float | np.ndarray:
+    """Tighter MinHash TC bound using the chromatic partition — third statement of Theorem VII.1.
+
+    ``P(|TC - TC_1H| >= t) <= 2 exp(-9 k t^2 / (4 (Δ+1) Σ_v d(v)^3))``
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    degs = np.asarray(degrees, dtype=np.float64)
+    delta = float(max_degree if max_degree is not None else (degs.max() if degs.size else 0))
+    denom = 4.0 * (delta + 1.0) * float(np.sum(degs**3))
+    if denom == 0:
+        return _clip_probability(np.zeros_like(np.asarray(t, dtype=np.float64)))
+    t_arr = np.asarray(t, dtype=np.float64)
+    if np.any(t_arr < 0):
+        raise ValueError("deviation distance t must be non-negative")
+    return _clip_probability(2.0 * np.exp(-9.0 * k * t_arr**2 / denom))
+
+
+# ---------------------------------------------------------------------------
+# KMV (Propositions A.7 – A.9)
+# ---------------------------------------------------------------------------
+def kmv_deviation_probability(t: float, set_size: float, k: int) -> float:
+    """Probability that the KMV size estimate lies within ``t`` of ``|X|`` — Proposition A.7.
+
+    The k-th smallest of ``|X|`` uniform hashes follows Beta(k, |X|-k+1); the
+    proposition evaluates the CDF at ``u = (k-1)/(|X|-t)`` and ``l = (k-1)/(|X|+t)``.
+    Returns ``P(|est - |X|| <= t)`` (note: a *coverage* probability, unlike the
+    other bounds which bound the deviation probability).
+    """
+    if k < 2:
+        raise ValueError("KMV requires k >= 2")
+    size = float(set_size)
+    if size < k:
+        # Sketch not full: the estimate is exact.
+        return 1.0
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    a = float(k)
+    b = size - k + 1.0
+    upper = (k - 1.0) / max(size - t, 1e-12)
+    lower = (k - 1.0) / (size + t)
+    upper = min(upper, 1.0)
+    lower = min(lower, 1.0)
+    return float(np.clip(betainc(a, b, upper) - betainc(a, b, lower), 0.0, 1.0))
+
+
+def kmv_intersection_deviation_bound(t: float, size_x: float, size_y: float, union_size: float, k: int) -> float:
+    """Union-bound deviation probability for the KMV intersection estimator — Proposition A.8.
+
+    ``P(|est - |X∩Y|| >= t) <= P(|X| err >= t/3) + P(|Y| err >= t/3) + P(|X∪Y| err >= t/3)``.
+    With exact sizes (Eq. 41 / Prop. A.9) only the union term remains.
+    """
+    if t <= 0:
+        raise ValueError("t must be positive")
+    third = t / 3.0
+    p_x = 1.0 - kmv_deviation_probability(third, size_x, k)
+    p_y = 1.0 - kmv_deviation_probability(third, size_y, k)
+    p_u = 1.0 - kmv_deviation_probability(third, union_size, k)
+    return float(np.clip(p_x + p_y + p_u, 0.0, 1.0))

@@ -1,0 +1,78 @@
+"""Storage-budget parametrization (§V-A).
+
+ProbGraph exposes a single generic knob ``s ∈ [0, 1]``: the fraction of
+*additional* memory (on top of the CSR graph) that may be spent on sketches.
+Given ``s`` and the chosen representation, this module resolves the concrete
+per-representation parameters:
+
+* Bloom filters — bits per neighborhood ``B`` (shared by every vertex),
+* MinHash / KMV — number of retained elements ``k`` per neighborhood.
+
+The paper never exceeds ``s = 33%`` in its evaluation; the same default cap is
+used by the experiment harness here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph, WORD_BITS
+
+__all__ = ["BudgetResolution", "resolve_bloom_bits", "resolve_minhash_k", "relative_memory"]
+
+#: Smallest useful Bloom filter (one machine word).
+MIN_BLOOM_BITS = 64
+#: Smallest useful MinHash / KMV sketch.
+MIN_SKETCH_K = 4
+
+
+@dataclass(frozen=True)
+class BudgetResolution:
+    """Outcome of translating a storage budget into concrete sketch parameters."""
+
+    storage_budget: float
+    bits_per_vertex: int
+    total_sketch_bits: int
+    csr_bits: int
+
+    @property
+    def relative_memory(self) -> float:
+        """Sketch storage as a fraction of the CSR storage (the shading of Figs. 4–5)."""
+        return self.total_sketch_bits / self.csr_bits if self.csr_bits else 0.0
+
+
+def _budget_bits_per_vertex(graph: CSRGraph, storage_budget: float) -> float:
+    if not 0.0 < storage_budget <= 1.0:
+        raise ValueError(f"storage budget s must lie in (0, 1], got {storage_budget}")
+    if graph.num_vertices == 0:
+        raise ValueError("cannot resolve a budget for an empty graph")
+    return storage_budget * graph.storage_bits / graph.num_vertices
+
+
+def resolve_bloom_bits(graph: CSRGraph, storage_budget: float) -> BudgetResolution:
+    """Bloom-filter length ``B`` (bits per neighborhood) for a given budget ``s``.
+
+    Every vertex gets the same ``B`` (rounded down to a multiple of the machine
+    word) — the fixed-size property that gives PG its load-balancing advantage.
+    """
+    per_vertex = _budget_bits_per_vertex(graph, storage_budget)
+    bits = max(int(per_vertex) // WORD_BITS * WORD_BITS, MIN_BLOOM_BITS)
+    total = bits * graph.num_vertices
+    return BudgetResolution(storage_budget, bits, total, graph.storage_bits)
+
+
+def resolve_minhash_k(graph: CSRGraph, storage_budget: float) -> BudgetResolution:
+    """MinHash / KMV sketch size ``k`` (elements per neighborhood) for a budget ``s``.
+
+    Each retained element occupies one machine word, so ``k = s · storage / (n · W)``.
+    """
+    per_vertex = _budget_bits_per_vertex(graph, storage_budget)
+    k = max(int(per_vertex) // WORD_BITS, MIN_SKETCH_K)
+    bits = k * WORD_BITS
+    total = bits * graph.num_vertices
+    return BudgetResolution(storage_budget, bits, total, graph.storage_bits)
+
+
+def relative_memory(graph: CSRGraph, total_sketch_bits: int) -> float:
+    """Sketch storage relative to the CSR storage of ``graph``."""
+    return total_sketch_bits / graph.storage_bits if graph.storage_bits else 0.0

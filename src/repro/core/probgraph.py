@@ -1,0 +1,235 @@
+"""The user-facing :class:`ProbGraph` representation (§V, Listing 6).
+
+A :class:`ProbGraph` wraps a CSR graph with probabilistic sketches of every
+vertex neighborhood.  Users pick a representation (``"bloom"``, ``"khash"``,
+``"1hash"``/``"bottomk"``, or ``"kmv"``) and a storage budget ``s``; the class
+resolves the concrete sketch parameters (Bloom filter bits ``B``, number of
+hash functions ``b``, MinHash size ``k``), builds all sketches in one
+vectorized pass, and exposes estimated neighborhood-intersection cardinalities
+through the same call shape the exact CSR graph offers.
+
+Graph-mining algorithms in :mod:`repro.algorithms` accept either a plain
+:class:`~repro.graph.csr.CSRGraph` (exact execution) or a :class:`ProbGraph`
+(approximate execution) — the plug-in design of §V.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..sketches.bloom import BloomFamily, BloomNeighborhoodSketches
+from ..sketches.kmv import KMVFamily
+from ..sketches.minhash import BottomKFamily, KHashFamily
+from .budget import BudgetResolution, resolve_bloom_bits, resolve_minhash_k
+from .estimators import EstimatorKind
+
+__all__ = ["Representation", "ProbGraph"]
+
+
+class Representation(str, Enum):
+    """Available probabilistic set representations."""
+
+    BLOOM = "bloom"
+    KHASH = "khash"
+    ONEHASH = "1hash"
+    KMV = "kmv"
+
+    @classmethod
+    def parse(cls, value: "Representation | str") -> "Representation":
+        """Accept a few intuitive aliases (``"bf"``, ``"mh"``, ``"bottomk"``)."""
+        if isinstance(value, Representation):
+            return value
+        aliases = {
+            "bf": cls.BLOOM,
+            "bloomfilter": cls.BLOOM,
+            "mh": cls.ONEHASH,
+            "minhash": cls.ONEHASH,
+            "bottomk": cls.ONEHASH,
+            "onehash": cls.ONEHASH,
+            "kh": cls.KHASH,
+            "k-hash": cls.KHASH,
+            "1-hash": cls.ONEHASH,
+        }
+        key = str(value).lower()
+        if key in aliases:
+            return aliases[key]
+        return cls(key)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ProbGraph:
+    """Probabilistic graph representation: sketched neighborhoods plus estimators.
+
+    Parameters
+    ----------
+    graph:
+        The input CSR graph.
+    representation:
+        Which sketch family to use (``"bloom"``, ``"khash"``, ``"1hash"``, ``"kmv"``).
+    storage_budget:
+        The generic budget knob ``s ∈ (0, 1]`` of §V-A.  Ignored for a given
+        parameter when ``num_bits`` / ``k`` is passed explicitly.
+    num_hashes:
+        Bloom-filter hash count ``b`` (the paper uses 1–4, default 2).
+    num_bits:
+        Explicit Bloom-filter length in bits (overrides the budget).
+    k:
+        Explicit MinHash / KMV sketch size (overrides the budget).
+    oriented:
+        Sketch the degree-order oriented neighborhoods ``N+`` instead of the
+        full neighborhoods ``N`` (what Listings 1–2 intersect).  Triangle- and
+        clique-counting use this; similarity/clustering use the full ``N``.
+    seed:
+        Hash seed; the whole representation is deterministic given the seed.
+    estimator:
+        Default intersection estimator for Bloom filters (AND, L, or OR).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        representation: Representation | str = Representation.BLOOM,
+        storage_budget: float = 0.25,
+        num_hashes: int = 2,
+        num_bits: int | None = None,
+        k: int | None = None,
+        oriented: bool = False,
+        seed: int = 0,
+        estimator: EstimatorKind | str | None = None,
+    ) -> None:
+        self.graph = graph
+        self.representation = Representation.parse(representation)
+        self.storage_budget = float(storage_budget)
+        self.num_hashes = int(num_hashes)
+        self.oriented = bool(oriented)
+        self.seed = int(seed)
+        self._base = graph.oriented() if oriented else graph
+
+        resolution: BudgetResolution | None = None
+        if self.representation is Representation.BLOOM:
+            if num_bits is None:
+                resolution = resolve_bloom_bits(graph, self.storage_budget)
+                num_bits = resolution.bits_per_vertex
+            family = BloomFamily(num_bits, self.num_hashes, self.seed)
+            default_estimator = EstimatorKind.BF_AND
+        elif self.representation is Representation.KHASH:
+            if k is None:
+                resolution = resolve_minhash_k(graph, self.storage_budget)
+                k = resolution.bits_per_vertex // 64
+            family = KHashFamily(k, self.seed)
+            default_estimator = EstimatorKind.MINHASH_K
+        elif self.representation is Representation.ONEHASH:
+            if k is None:
+                resolution = resolve_minhash_k(graph, self.storage_budget)
+                k = resolution.bits_per_vertex // 64
+            family = BottomKFamily(k, self.seed)
+            default_estimator = EstimatorKind.MINHASH_1
+        elif self.representation is Representation.KMV:
+            if k is None:
+                resolution = resolve_minhash_k(graph, self.storage_budget)
+                k = max(resolution.bits_per_vertex // 64, 2)
+            family = KMVFamily(k, self.seed)
+            default_estimator = EstimatorKind.KMV
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown representation {representation!r}")
+
+        self.family = family
+        self.num_bits = int(num_bits) if num_bits is not None else None
+        self.k = int(k) if k is not None else None
+        self.estimator = EstimatorKind(estimator) if estimator is not None else default_estimator
+        self.budget_resolution = resolution
+
+        start = time.perf_counter()
+        self.sketches = family.sketch_neighborhoods(self._base.indptr, self._base.indices)
+        self.construction_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges of the underlying graph."""
+        return self.graph.num_edges
+
+    @property
+    def sketch_storage_bits(self) -> int:
+        """Total storage of all neighborhood sketches."""
+        return self.sketches.total_storage_bits
+
+    @property
+    def relative_memory(self) -> float:
+        """Sketch storage relative to the CSR storage (the memory axis of Figs. 4–7)."""
+        return self.sketch_storage_bits / self.graph.storage_bits if self.graph.storage_bits else 0.0
+
+    # ------------------------------------------------------------- estimation
+    def int_card(self, u: int, v: int, estimator: EstimatorKind | str | None = None) -> float:
+        """Estimate ``|N_u ∩ N_v|`` for one vertex pair (Listing 6's ``int_BF_AND`` etc.)."""
+        return float(
+            self.pair_intersections(np.asarray([u]), np.asarray([v]), estimator=estimator)[0]
+        )
+
+    def pair_intersections(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+    ) -> np.ndarray:
+        """Estimate ``|N_u ∩ N_v|`` for arrays of vertex pairs — the PG inner kernel."""
+        kind = EstimatorKind(estimator) if estimator is not None else self.estimator
+        if isinstance(self.sketches, BloomNeighborhoodSketches):
+            return self.sketches.pair_intersections(u, v, estimator=kind)
+        return self.sketches.pair_intersections(u, v)
+
+    def jaccard(self, u: int, v: int, estimator: EstimatorKind | str | None = None) -> float:
+        """Approximate Jaccard similarity of ``N_u`` and ``N_v`` (Listing 6, lines 13–15)."""
+        inter = self.int_card(u, v, estimator=estimator)
+        du = float(self._base.degree(u))
+        dv = float(self._base.degree(v))
+        union = du + dv - inter
+        if union <= 0:
+            return 0.0
+        return float(np.clip(inter / union, 0.0, 1.0))
+
+    def neighborhood_cardinalities(self) -> np.ndarray:
+        """Estimated (or exact, for MinHash) ``|N_v|`` for every vertex."""
+        return self.sketches.cardinalities()
+
+    def exact_int_card(self, u: int, v: int) -> int:
+        """Exact ``|N_u ∩ N_v|`` on the underlying CSR graph (Listing 6's ``int_card``)."""
+        return self._base.common_neighbors(u, v)
+
+    # ------------------------------------------------------------------ misc
+    def describe(self) -> dict:
+        """A small summary dict used by the experiment harness and examples."""
+        params: dict[str, object] = {
+            "representation": self.representation.value,
+            "estimator": self.estimator.value,
+            "storage_budget": self.storage_budget,
+            "relative_memory": round(self.relative_memory, 4),
+            "construction_seconds": round(self.construction_seconds, 6),
+            "oriented": self.oriented,
+            "n": self.num_vertices,
+            "m": self.num_edges,
+        }
+        if self.representation is Representation.BLOOM:
+            params["num_bits"] = self.num_bits
+            params["num_hashes"] = self.num_hashes
+        else:
+            params["k"] = self.k
+        return params
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        detail = f"B={self.num_bits}, b={self.num_hashes}" if self.representation is Representation.BLOOM else f"k={self.k}"
+        return (
+            f"ProbGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"representation={self.representation.value}, {detail}, s={self.storage_budget})"
+        )

@@ -1,0 +1,26 @@
+"""Evaluation harness: accuracy metrics, timing, table regeneration, per-figure experiments."""
+
+from .accuracy import ErrorSummary, accuracy, relative_count, relative_error, summarize_errors
+from .reporting import format_csv, format_series, format_table, print_table
+from .runner import ComparisonRow, Measurement, measure, simulated_speedup
+from .tables import table4_intersection, table5_construction, table6_algorithms, table7_tc_estimators
+
+__all__ = [
+    "relative_count",
+    "relative_error",
+    "accuracy",
+    "ErrorSummary",
+    "summarize_errors",
+    "format_table",
+    "format_csv",
+    "format_series",
+    "print_table",
+    "Measurement",
+    "measure",
+    "simulated_speedup",
+    "ComparisonRow",
+    "table4_intersection",
+    "table5_construction",
+    "table6_algorithms",
+    "table7_tc_estimators",
+]

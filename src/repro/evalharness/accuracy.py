@@ -1,0 +1,82 @@
+"""Accuracy metrics used throughout the evaluation (§VIII-A "Assessing Accuracy").
+
+The paper reports two kinds of accuracy numbers:
+
+* for count-returning algorithms (TC, clique counting, number of clusters) the
+  **relative count** ``cnt_PG / cnt_exact`` and the **relative error**
+  ``|cnt_PG − cnt_exact| / cnt_exact``;
+* for the per-edge intersection study (Fig. 3) the distribution of per-pair
+  relative differences, summarized as boxplots (median, quartiles, whiskers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["relative_count", "relative_error", "accuracy", "ErrorSummary", "summarize_errors"]
+
+
+def relative_count(estimated: float, exact: float) -> float:
+    """``cnt_PG / cnt_exact`` — the Y axis of Figs. 4–7 (1.0 is perfect)."""
+    if exact == 0:
+        return 1.0 if estimated == 0 else float("inf")
+    return float(estimated) / float(exact)
+
+
+def relative_error(estimated: float | np.ndarray, exact: float | np.ndarray) -> float | np.ndarray:
+    """``|est − exact| / exact`` (element-wise for arrays); 0 when both are 0."""
+    est = np.asarray(estimated, dtype=np.float64)
+    true = np.asarray(exact, dtype=np.float64)
+    err = np.abs(est - true)
+    out = np.divide(err, np.abs(true), out=np.zeros_like(err), where=true != 0)
+    out = np.where((true == 0) & (est != 0), np.inf, out)
+    return float(out) if np.ndim(estimated) == 0 and np.ndim(exact) == 0 else out
+
+
+def accuracy(estimated: float, exact: float) -> float:
+    """``1 − relative error`` clipped to [0, 1] — "accuracy of more than 90%" in the abstract."""
+    return float(np.clip(1.0 - relative_error(estimated, exact), 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Boxplot-style summary of a distribution of relative errors (one box of Fig. 3)."""
+
+    count: int
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for table formatting."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 4),
+            "median": round(self.median, 4),
+            "q1": round(self.q1, 4),
+            "q3": round(self.q3, 4),
+            "p95": round(self.p95, 4),
+            "max": round(self.maximum, 4),
+        }
+
+
+def summarize_errors(errors: np.ndarray) -> ErrorSummary:
+    """Summarize a vector of per-pair relative errors (infinite entries are dropped)."""
+    arr = np.asarray(errors, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return ErrorSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return ErrorSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        q1=float(np.percentile(arr, 25)),
+        q3=float(np.percentile(arr, 75)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,24 @@
+"""Per-figure / per-table experiment definitions (see DESIGN.md §2 for the index)."""
+
+from .construction_costs import run_construction_costs
+from .distributed_comm import run_distributed_comm
+from .fig3_intersection_accuracy import run_fig3
+from .fig4_tradeoffs import run_fig4
+from .fig5_cliques import run_fig5
+from .fig6_tc_bars import run_fig6
+from .fig7_clustering_bars import run_fig7
+from .fig8_scaling import run_fig8, run_fig9, run_strong_scaling, run_weak_scaling
+
+__all__ = [
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_strong_scaling",
+    "run_weak_scaling",
+    "run_construction_costs",
+    "run_distributed_comm",
+]

@@ -1,0 +1,119 @@
+"""Figure 4 — speedup / accuracy / memory trade-offs for TC and clustering.
+
+For every graph (real-world stand-ins plus Kronecker synthetics) and every
+problem (Triangle Counting; Clustering with Jaccard, Overlap, and Common
+Neighbors similarity), the exact baseline and two PG configurations (BF with
+``b = 2`` and the AND estimator; 1-Hash MinHash) are compared on three axes:
+
+* speedup (measured single-process and simulated 32-worker),
+* relative pattern count w.r.t. the exact run, and
+* relative additional memory.
+"""
+
+from __future__ import annotations
+
+from ...algorithms.clustering import jarvis_patrick_clustering
+from ...algorithms.similarity import SimilarityMeasure
+from ...algorithms.triangle_count import triangle_count
+from ...core.probgraph import ProbGraph, Representation
+from ...graph.datasets import load_dataset
+from ...graph.generators import kronecker_graph
+from ..accuracy import relative_count
+from ..runner import ComparisonRow, measure, simulated_speedup
+
+__all__ = ["DEFAULT_REAL_GRAPHS", "DEFAULT_PROBLEMS", "compare_on_graph", "run_fig4"]
+
+DEFAULT_REAL_GRAPHS = ["bio-CE-PG", "bio-SC-GT", "econ-beacxc", "soc-fbMsg", "int-antCol3-d1"]
+
+DEFAULT_PROBLEMS = (
+    "triangle_counting",
+    "clustering_jaccard",
+    "clustering_overlap",
+    "clustering_common_neighbors",
+)
+
+_CLUSTERING_MEASURES = {
+    "clustering_jaccard": SimilarityMeasure.JACCARD,
+    "clustering_overlap": SimilarityMeasure.OVERLAP,
+    "clustering_common_neighbors": SimilarityMeasure.COMMON_NEIGHBORS,
+}
+
+
+def _run_problem(problem: str, graph_or_pg) -> float:
+    """Execute one problem and return its scalar outcome (count of patterns / clusters)."""
+    if problem == "triangle_counting":
+        return float(triangle_count(graph_or_pg))
+    measure_kind = _CLUSTERING_MEASURES[problem]
+    return float(jarvis_patrick_clustering(graph_or_pg, measure=measure_kind).num_clusters)
+
+
+def compare_on_graph(
+    graph,
+    graph_name: str,
+    problem: str,
+    storage_budget: float = 0.25,
+    seed: int = 0,
+    num_workers: int = 32,
+) -> list[dict]:
+    """Exact vs PG(BF) vs PG(MH) rows for one (graph, problem) cell of Fig. 4."""
+    exact_run = measure(_run_problem, problem, graph)
+    exact_value = float(exact_run.value)
+    rows = [
+        ComparisonRow(problem, graph_name, "Exact", 1.0, 1.0, 1.0, 0.0).as_dict()
+    ]
+    configs = [
+        ("ProbGraph (BF)", Representation.BLOOM, {"num_hashes": 2}),
+        ("ProbGraph (MH)", Representation.ONEHASH, {}),
+    ]
+    # Triangle counting sketches the oriented N+ neighborhoods (Listing 1); the
+    # clustering variants intersect full neighborhoods.
+    oriented = problem == "triangle_counting"
+    for label, representation, extra in configs:
+        pg = ProbGraph(
+            graph,
+            representation=representation,
+            storage_budget=storage_budget,
+            oriented=oriented,
+            seed=seed,
+            **extra,
+        )
+        pg_run = measure(_run_problem, problem, pg)
+        rows.append(
+            ComparisonRow(
+                problem,
+                graph_name,
+                label,
+                exact_run.seconds / pg_run.seconds if pg_run.seconds > 0 else float("inf"),
+                simulated_speedup(graph, pg, num_workers=num_workers),
+                relative_count(float(pg_run.value), exact_value),
+                pg.relative_memory,
+            ).as_dict()
+        )
+    return rows
+
+
+def run_fig4(
+    real_graphs: list[str] | None = None,
+    kronecker_scales: list[int] | None = None,
+    problems: tuple[str, ...] = DEFAULT_PROBLEMS,
+    storage_budget: float = 0.25,
+    dataset_scale: float = 0.2,
+    num_workers: int = 32,
+    seed: int = 0,
+) -> list[dict]:
+    """Regenerate the Fig. 4 scatter data (top panel: real graphs, bottom: Kronecker)."""
+    real_graphs = real_graphs if real_graphs is not None else DEFAULT_REAL_GRAPHS
+    kronecker_scales = kronecker_scales if kronecker_scales is not None else [10, 11]
+    rows: list[dict] = []
+    for name in real_graphs:
+        graph = load_dataset(name, scale=dataset_scale, seed=seed)
+        for problem in problems:
+            for row in compare_on_graph(graph, name, problem, storage_budget, seed, num_workers):
+                rows.append({"family": "real-world", **row})
+    for scale in kronecker_scales:
+        graph = kronecker_graph(scale, edge_factor=8, seed=seed + scale)
+        name = f"kron-s{scale}"
+        for problem in problems:
+            for row in compare_on_graph(graph, name, problem, storage_budget, seed, num_workers):
+                rows.append({"family": "kronecker", **row})
+    return rows

@@ -1,0 +1,121 @@
+"""Figures 8 & 9 — strong and weak scaling of PG vs the exact and sampling baselines.
+
+The scaling curves are produced by the work-depth scheduling simulator
+(DESIGN.md §4 substitution for the 32-core OpenMP runs):
+
+* **Strong scaling** — a fixed Kronecker graph, worker counts 1..32, one curve
+  per scheme (Exact TC, Doulion, Colorful, PG-BF, PG-1H).  The exact baseline's
+  curve flattens on skewed graphs because a few huge neighborhoods dominate the
+  makespan; PG curves keep scaling since every task costs the same.
+* **Weak scaling** — Kronecker graphs whose edge count grows faster than the
+  worker count (the paper doubles m at twice the thread rate), so the density
+  m/n climbs through ≈ 4, 15, 55, ... and load imbalance worsens for the exact
+  scheme while PG stays flat-ish.
+"""
+
+from __future__ import annotations
+
+from ...graph.generators import kronecker_graph
+from ...parallel.simulator import simulate_algorithm_runtime
+from ...parallel.workdepth import Scheme
+
+__all__ = ["DEFAULT_WORKER_COUNTS", "run_strong_scaling", "run_weak_scaling", "run_fig8", "run_fig9"]
+
+DEFAULT_WORKER_COUNTS = [1, 2, 4, 8, 16, 32]
+
+#: Schemes plotted in Fig. 8(a); the sampling baselines are modelled as the
+#: exact scheme on a proportionally smaller edge set.
+_STRONG_SCHEMES = {
+    "Exact TC": (Scheme.CSR_MERGE, 1.0),
+    "Doulion": (Scheme.CSR_MERGE, 0.25),
+    "Colorful": (Scheme.CSR_MERGE, 0.5),
+    "ProbGraph (BF)": (Scheme.BLOOM, 1.0),
+    "ProbGraph (1H)": (Scheme.ONEHASH, 1.0),
+}
+
+
+def run_strong_scaling(
+    scale: int = 12,
+    edge_factor: int = 16,
+    worker_counts: list[int] | None = None,
+    num_bits: int = 1024,
+    k: int = 16,
+    schemes: dict[str, tuple[Scheme, float]] | None = None,
+    seed: int = 0,
+) -> dict[str, dict[int, float]]:
+    """Strong-scaling curves: ``{scheme: {workers: simulated_seconds}}``."""
+    worker_counts = worker_counts or DEFAULT_WORKER_COUNTS
+    schemes = schemes or _STRONG_SCHEMES
+    graph = kronecker_graph(scale, edge_factor=edge_factor, seed=seed)
+    curves: dict[str, dict[int, float]] = {}
+    for label, (scheme, work_fraction) in schemes.items():
+        curve = {}
+        for p in worker_counts:
+            runtime = simulate_algorithm_runtime(
+                graph, scheme, p, num_bits=num_bits, k=k, include_construction=scheme not in (Scheme.CSR_MERGE,)
+            )
+            curve[p] = runtime * work_fraction
+        curves[label] = curve
+    return curves
+
+
+def run_weak_scaling(
+    base_scale: int = 10,
+    worker_counts: list[int] | None = None,
+    num_bits: int = 1024,
+    k: int = 16,
+    seed: int = 0,
+) -> dict[str, dict[int, float]]:
+    """Weak-scaling curves: the graph grows with the worker count (m roughly ×4 per doubling).
+
+    This reproduces the paper's stress test where the density m/n climbs
+    (≈ 4, 15, 55, 192, ...) as threads are added, so per-edge costs for the
+    exact scheme become increasingly skewed.
+    """
+    worker_counts = worker_counts or DEFAULT_WORKER_COUNTS
+    curves: dict[str, dict[int, float]] = {label: {} for label in ("Exact TC", "ProbGraph (BF)", "ProbGraph (1H)")}
+    for i, p in enumerate(worker_counts):
+        edge_factor = 4 * (2**i)  # density grows twice as fast as the worker count
+        graph = kronecker_graph(base_scale, edge_factor=edge_factor, seed=seed + i)
+        curves["Exact TC"][p] = simulate_algorithm_runtime(graph, Scheme.CSR_MERGE, p, include_construction=False)
+        curves["ProbGraph (BF)"][p] = simulate_algorithm_runtime(graph, Scheme.BLOOM, p, num_bits=num_bits)
+        curves["ProbGraph (1H)"][p] = simulate_algorithm_runtime(graph, Scheme.ONEHASH, p, k=k)
+    return curves
+
+
+def run_fig8(
+    scale: int = 12,
+    base_scale: int = 10,
+    worker_counts: list[int] | None = None,
+    seed: int = 0,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Both Fig. 8 panels: strong scaling (TC) and weak scaling (TC)."""
+    return {
+        "strong_scaling_tc": run_strong_scaling(scale=scale, worker_counts=worker_counts, seed=seed),
+        "weak_scaling_tc": run_weak_scaling(base_scale=base_scale, worker_counts=worker_counts, seed=seed),
+    }
+
+
+def run_fig9(
+    scale: int = 12,
+    base_scale: int = 10,
+    worker_counts: list[int] | None = None,
+    seed: int = 0,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Fig. 9 — the same scaling study restricted to the PG schemes (Clustering, Common Neighbors).
+
+    Clustering with the Common Neighbors similarity is dominated by the same
+    per-edge ``|N_u ∩ N_v|`` kernel as TC, so the simulated curves use the same
+    cost model; only the PG schemes are plotted, as in the paper.
+    """
+    pg_only = {label: cfg for label, cfg in _STRONG_SCHEMES.items() if label.startswith("ProbGraph")}
+    return {
+        "strong_scaling_clustering_cn": run_strong_scaling(
+            scale=scale, worker_counts=worker_counts, schemes=pg_only, seed=seed
+        ),
+        "weak_scaling_clustering_cn": {
+            label: curve
+            for label, curve in run_weak_scaling(base_scale=base_scale, worker_counts=worker_counts, seed=seed).items()
+            if label.startswith("ProbGraph")
+        },
+    }

@@ -1,0 +1,75 @@
+"""Plain-text table / series formatting for experiment outputs.
+
+Every experiment in :mod:`repro.evalharness.experiments` returns a list of flat
+dictionaries (one per table row / figure data point).  These helpers render
+them as aligned text tables or CSV so the benchmark harness can print the same
+rows and series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv", "format_series", "print_table"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str | None = None) -> str:
+    """Render rows as an aligned monospace table (columns default to the first row's keys)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[_stringify(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_csv(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV text."""
+    if not rows:
+        return ""
+    columns = list(columns) if columns else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def format_series(series: dict[str, dict], x_label: str = "x", title: str | None = None) -> str:
+    """Render ``{curve_name: {x: y}}`` mappings (scaling curves) as a text table."""
+    if not series:
+        return "(no series)"
+    xs = sorted({x for curve in series.values() for x in curve})
+    rows = []
+    for x in xs:
+        row = {x_label: x}
+        for name, curve in series.items():
+            row[name] = curve.get(x, "")
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title=title)
+
+
+def print_table(rows: Iterable[dict], columns: Sequence[str] | None = None, title: str | None = None) -> None:
+    """Convenience wrapper used by the benchmark targets and examples."""
+    print(format_table(list(rows), columns, title))

@@ -1,0 +1,119 @@
+"""Command-line driver that regenerates the paper's tables and figures.
+
+Usage (from the repository root)::
+
+    python -m repro.evalharness.run_all --experiments fig3 fig6 tables --out results/
+
+Each experiment writes a CSV (one row per table row / figure data point) and
+prints an aligned text table.  ``--quick`` shrinks every workload further so the
+whole sweep finishes in about a minute; the defaults match the benchmark
+harness configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+
+from ..graph.generators import kronecker_graph
+from .experiments import (
+    run_construction_costs,
+    run_distributed_comm,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+from .reporting import format_csv, format_series, format_table
+from .tables import table4_intersection, table5_construction, table6_algorithms, table7_tc_estimators
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _tables_experiment(quick: bool) -> list[dict]:
+    graph = kronecker_graph(scale=9 if quick else 11, edge_factor=8, seed=1)
+    rows: list[dict] = []
+    for name, table_rows in (
+        ("table4", table4_intersection(graph)),
+        ("table5", table5_construction(graph)),
+        ("table6", table6_algorithms(graph)),
+        ("table7", table7_tc_estimators()),
+    ):
+        for row in table_rows:
+            rows.append({"table": name, **row})
+    return rows
+
+
+def _scaling_experiment(quick: bool) -> list[dict]:
+    workers = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
+    strong = run_strong_scaling(scale=9 if quick else 11, worker_counts=workers)
+    weak = run_weak_scaling(base_scale=8 if quick else 9, worker_counts=workers)
+    rows: list[dict] = []
+    for panel, curves in (("strong", strong), ("weak", weak)):
+        for scheme, curve in curves.items():
+            for threads, seconds in curve.items():
+                rows.append({"panel": panel, "scheme": scheme, "threads": threads, "simulated_seconds": seconds})
+    return rows
+
+
+EXPERIMENTS = {
+    "tables": _tables_experiment,
+    "fig3": lambda quick: run_fig3(dataset_scale=0.1 if quick else 0.2, max_edges=2_000 if quick else 10_000),
+    "fig4": lambda quick: run_fig4(
+        real_graphs=["bio-CE-PG"] if quick else None,
+        kronecker_scales=[9] if quick else None,
+        dataset_scale=0.1 if quick else 0.2,
+    ),
+    "fig5": lambda quick: run_fig5(dataset_scale=0.05 if quick else 0.1, kronecker_scales=[] if quick else None),
+    "fig6": lambda quick: run_fig6(
+        graph_names=["bio-CE-PG", "econ-beacxc"] if quick else None, dataset_scale=0.1 if quick else 0.15
+    ),
+    "fig7": lambda quick: run_fig7(
+        graph_names=["bio-CE-PG", "econ-beacxc"] if quick else None, dataset_scale=0.1 if quick else 0.15
+    ),
+    "scaling": _scaling_experiment,
+    "construction": lambda quick: run_construction_costs(dataset_scale=0.1 if quick else 0.2),
+    "distributed": lambda quick: run_distributed_comm(dataset_scale=0.1 if quick else 0.2),
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> list[dict]:
+    """Run one named experiment and return its rows."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.evalharness.run_all``."""
+    parser = argparse.ArgumentParser(description="Regenerate ProbGraph evaluation tables and figures.")
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=sorted(EXPERIMENTS),
+        choices=sorted(EXPERIMENTS),
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument("--out", default=None, help="directory to write one CSV per experiment")
+    parser.add_argument("--quick", action="store_true", help="shrink workloads for a fast smoke run")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+
+    for name in args.experiments:
+        rows = run_experiment(name, quick=args.quick)
+        print()
+        print(format_table(rows, title=f"=== {name} ==="))
+        if out_dir is not None:
+            (out_dir / f"{name}.csv").write_text(format_csv(rows), encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Timing and comparison plumbing shared by the per-figure experiments.
+
+The experiment modules compare the exact baselines with PG-enhanced runs along
+the three axes of Figs. 4–7: performance (speedup), accuracy (relative count),
+and memory (relative additional storage).  Two speedup notions are reported:
+
+* ``measured_speedup`` — single-process wall-clock ratio of the vectorized
+  exact kernel over the vectorized PG kernel (what this repository can measure
+  directly);
+* ``simulated_speedup`` — the ratio of simulated 32-worker makespans from the
+  work-depth scheduling simulator (the substitution for the paper's 32-core
+  OpenMP runs; see DESIGN.md §4).
+
+Both use the *same* graph and sketch parametrization, so the qualitative
+conclusions (who wins, by roughly what factor) can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.probgraph import ProbGraph, Representation
+from ..graph.csr import CSRGraph
+from ..parallel.simulator import simulate_algorithm_runtime
+from ..parallel.workdepth import Scheme
+
+__all__ = ["Measurement", "measure", "pg_scheme_for", "simulated_speedup", "ComparisonRow"]
+
+#: Number of workers used for the simulated-parallel speedups (the paper's core count).
+DEFAULT_WORKERS = 32
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A function result together with its wall-clock runtime."""
+
+    value: object
+    seconds: float
+
+
+def measure(fn: Callable, *args, repeat: int = 1, **kwargs) -> Measurement:
+    """Run ``fn`` ``repeat`` times and keep the best (smallest) wall-clock time."""
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return Measurement(value, best)
+
+
+def pg_scheme_for(pg: ProbGraph) -> Scheme:
+    """Map a ProbGraph representation onto the work-depth scheme it corresponds to."""
+    if pg.representation is Representation.BLOOM:
+        return Scheme.BLOOM
+    if pg.representation is Representation.KHASH:
+        return Scheme.KHASH
+    return Scheme.ONEHASH
+
+
+def simulated_speedup(
+    graph: CSRGraph,
+    pg: ProbGraph,
+    num_workers: int = DEFAULT_WORKERS,
+    exact_scheme: Scheme = Scheme.CSR_MERGE,
+) -> float:
+    """Ratio of simulated ``num_workers``-core runtimes: exact intersections vs PG sketches."""
+    exact_time = simulate_algorithm_runtime(
+        graph, exact_scheme, num_workers, include_construction=False
+    )
+    pg_time = simulate_algorithm_runtime(
+        graph,
+        pg_scheme_for(pg),
+        num_workers,
+        num_bits=pg.num_bits or 1024,
+        k=pg.k or 16,
+        num_hashes=pg.num_hashes,
+        include_construction=False,
+    )
+    return exact_time / pg_time if pg_time > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One data point of a Fig. 4/5/6/7-style comparison."""
+
+    problem: str
+    graph: str
+    scheme: str
+    measured_speedup: float
+    simulated_speedup: float
+    relative_count: float
+    relative_memory: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for the table formatter."""
+        return {
+            "problem": self.problem,
+            "graph": self.graph,
+            "scheme": self.scheme,
+            "speedup_measured": round(self.measured_speedup, 3),
+            "speedup_simulated_32c": round(self.simulated_speedup, 2),
+            "relative_count": round(self.relative_count, 4),
+            "relative_memory": round(self.relative_memory, 4),
+        }

@@ -1,0 +1,50 @@
+"""Graph substrate: CSR representation, generators, I/O, dataset stand-ins, statistics."""
+
+from .csr import CSRGraph, WORD_BITS
+from .datasets import PAPER_DATASETS, DatasetSpec, chung_lu_graph, dataset_names, load_dataset
+from .generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    kronecker_graph,
+    planted_clique_graph,
+    ring_graph,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz_graph,
+)
+from .io import load_graph, read_edge_list, read_matrix_market, read_metis, write_edge_list, write_matrix_market, write_metis
+from .stats import GraphStats, degree_histogram, degree_skewness, gini_coefficient, graph_stats
+
+__all__ = [
+    "CSRGraph",
+    "WORD_BITS",
+    "kronecker_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "stochastic_block_model",
+    "complete_graph",
+    "ring_graph",
+    "star_graph",
+    "grid_graph",
+    "planted_clique_graph",
+    "chung_lu_graph",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "read_matrix_market",
+    "write_matrix_market",
+    "load_graph",
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+    "degree_skewness",
+    "gini_coefficient",
+]

@@ -1,0 +1,246 @@
+"""Synthetic graph generators used as workloads (§VIII-A).
+
+The paper's synthetic experiments use Kronecker graphs (Leskovec et al.), whose
+skewed degree distribution stresses the load-balancing properties ProbGraph is
+designed around.  We provide an R-MAT style Kronecker generator plus several
+classic models (Erdős–Rényi, Barabási–Albert, Watts–Strogatz, stochastic block
+model, and a few deterministic graphs useful for tests).
+
+All generators are seeded, return :class:`~repro.graph.csr.CSRGraph` objects,
+and deduplicate edges / remove self-loops (the paper's graphs are simple and
+undirected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "kronecker_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "stochastic_block_model",
+    "complete_graph",
+    "ring_graph",
+    "star_graph",
+    "grid_graph",
+    "planted_clique_graph",
+]
+
+
+def kronecker_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRGraph:
+    """R-MAT / Kronecker power-law graph with ``2**scale`` vertices.
+
+    ``edge_factor`` is the target ``m/n`` ratio before deduplication; the
+    default initiator probabilities (0.57, 0.19, 0.19, 0.05) are the Graph500 /
+    Kronecker parameters the paper's synthetic study uses.  The resulting
+    degree distribution is heavily skewed, which is exactly what makes load
+    balancing hard for the exact baselines (Fig. 1, panel 5).
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    if edge_factor < 1:
+        raise ValueError(f"edge_factor must be >= 1, got {edge_factor}")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("initiator probabilities must sum to at most 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab if ab > 0 else 0.5
+    cd = c + d
+    c_norm = c / cd if cd > 0 else 0.5
+    for level in range(scale):
+        bit = np.int64(1) << level
+        go_down = rng.random(m) > ab  # choose bottom half of the initiator matrix
+        right_top = rng.random(m) > a_norm
+        right_bottom = rng.random(m) > c_norm
+        src += np.where(go_down, bit, 0)
+        dst += np.where(go_down, np.where(right_bottom, bit, 0), np.where(right_top, bit, 0))
+    # Random vertex permutation removes the locality artifacts of the recursion.
+    perm = rng.permutation(n)
+    edges = np.stack([perm[src], perm[dst]], axis=1)
+    return CSRGraph.from_edges(edges, num_vertices=n)
+
+
+def erdos_renyi_graph(n: int, p: float | None = None, m: int | None = None, seed: int = 0) -> CSRGraph:
+    """Erdős–Rényi graph: either G(n, p) or G(n, m) depending on which argument is given."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    if (p is None) == (m is None):
+        raise ValueError("specify exactly one of p or m")
+    if p is not None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        # Sample the upper triangle in blocks to avoid materializing n^2 bools for large n.
+        edges = []
+        block = 2048
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            rows = np.arange(start, stop)
+            mask = rng.random((stop - start, n)) < p
+            tri = np.triu(np.ones((stop - start, n), dtype=bool), k=1)[:, :]
+            # only keep columns > row index
+            col_idx = np.arange(n)[None, :]
+            upper = col_idx > rows[:, None]
+            sel = mask & upper
+            r, c = np.nonzero(sel)
+            if r.size:
+                edges.append(np.stack([rows[r], c], axis=1))
+        edge_arr = np.concatenate(edges, axis=0) if edges else np.empty((0, 2), dtype=np.int64)
+        return CSRGraph.from_edges(edge_arr, num_vertices=n)
+    # G(n, m): sample m distinct pairs.
+    target = int(m)
+    max_edges = n * (n - 1) // 2
+    if target > max_edges:
+        raise ValueError(f"m={target} exceeds the maximum number of edges {max_edges}")
+    chosen: set[int] = set()
+    out = np.empty((target, 2), dtype=np.int64)
+    count = 0
+    while count < target:
+        need = target - count
+        u = rng.integers(0, n, size=2 * need + 8)
+        v = rng.integers(0, n, size=2 * need + 8)
+        for ui, vi in zip(u, v):
+            if ui == vi:
+                continue
+            lo, hi = (ui, vi) if ui < vi else (vi, ui)
+            key = int(lo) * n + int(hi)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            out[count] = (lo, hi)
+            count += 1
+            if count == target:
+                break
+    return CSRGraph.from_edges(out, num_vertices=n)
+
+
+def barabasi_albert_graph(n: int, attach: int = 3, seed: int = 0) -> CSRGraph:
+    """Barabási–Albert preferential-attachment graph (power-law degrees)."""
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if n <= attach:
+        raise ValueError("n must exceed the attachment count")
+    rng = np.random.default_rng(seed)
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    edges = []
+    for v in range(attach, n):
+        chosen = rng.choice(repeated, size=attach, replace=True)
+        chosen = np.unique(chosen)
+        for t in chosen:
+            edges.append((v, int(t)))
+        repeated.extend(int(t) for t in chosen)
+        repeated.extend([v] * len(chosen))
+        targets.append(v)
+    return CSRGraph.from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def watts_strogatz_graph(n: int, k: int = 4, rewire_p: float = 0.1, seed: int = 0) -> CSRGraph:
+    """Watts–Strogatz small-world graph (high clustering coefficient, many triangles)."""
+    if k % 2 != 0 or k < 2:
+        raise ValueError("k must be an even integer >= 2")
+    if n <= k:
+        raise ValueError("n must exceed k")
+    rng = np.random.default_rng(seed)
+    edges = []
+    for offset in range(1, k // 2 + 1):
+        u = np.arange(n, dtype=np.int64)
+        v = (u + offset) % n
+        edges.append(np.stack([u, v], axis=1))
+    edge_arr = np.concatenate(edges, axis=0)
+    rewire = rng.random(edge_arr.shape[0]) < rewire_p
+    new_targets = rng.integers(0, n, size=int(rewire.sum()))
+    edge_arr[rewire, 1] = new_targets
+    return CSRGraph.from_edges(edge_arr, num_vertices=n)
+
+
+def stochastic_block_model(
+    block_sizes: list[int], p_in: float = 0.3, p_out: float = 0.01, seed: int = 0
+) -> CSRGraph:
+    """Stochastic block model — the canonical community-structure workload for clustering."""
+    if not block_sizes:
+        raise ValueError("block_sizes must be non-empty")
+    rng = np.random.default_rng(seed)
+    n = int(sum(block_sizes))
+    membership = np.repeat(np.arange(len(block_sizes)), block_sizes)
+    edges = []
+    block = 1024
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        rows = np.arange(start, stop)
+        same = membership[rows][:, None] == membership[None, :]
+        prob = np.where(same, p_in, p_out)
+        mask = rng.random((stop - start, n)) < prob
+        upper = np.arange(n)[None, :] > rows[:, None]
+        r, c = np.nonzero(mask & upper)
+        if r.size:
+            edges.append(np.stack([rows[r], c], axis=1))
+    edge_arr = np.concatenate(edges, axis=0) if edges else np.empty((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(edge_arr, num_vertices=n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph ``K_n`` — every pair of vertices adjacent (n·(n-1)·(n-2)/6 triangles)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    iu = np.triu_indices(n, k=1)
+    edges = np.stack(iu, axis=1).astype(np.int64)
+    return CSRGraph.from_edges(edges, num_vertices=n)
+
+
+def ring_graph(n: int) -> CSRGraph:
+    """Cycle graph ``C_n`` — triangle-free for n > 3."""
+    if n < 3:
+        raise ValueError("ring graph needs at least 3 vertices")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return CSRGraph.from_edges(np.stack([u, v], axis=1), num_vertices=n)
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star graph — one hub adjacent to ``n-1`` leaves (maximal degree skew, zero triangles)."""
+    if n < 2:
+        raise ValueError("star graph needs at least 2 vertices")
+    leaves = np.arange(1, n, dtype=np.int64)
+    edges = np.stack([np.zeros(n - 1, dtype=np.int64), leaves], axis=1)
+    return CSRGraph.from_edges(edges, num_vertices=n)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """2-D grid graph — triangle-free, perfectly load balanced (degree <= 4)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    edges = np.concatenate([right, down], axis=0).astype(np.int64)
+    return CSRGraph.from_edges(edges, num_vertices=rows * cols)
+
+
+def planted_clique_graph(n: int, clique_size: int, p: float = 0.05, seed: int = 0) -> CSRGraph:
+    """Erdős–Rényi background with one planted clique — the dense-subgraph-discovery workload (§III)."""
+    if clique_size > n:
+        raise ValueError("clique_size cannot exceed n")
+    base = erdos_renyi_graph(n, p=p, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    members = rng.choice(n, size=clique_size, replace=False)
+    iu = np.triu_indices(clique_size, k=1)
+    clique_edges = np.stack([members[iu[0]], members[iu[1]]], axis=1)
+    all_edges = np.concatenate([base.edge_array(), clique_edges], axis=0)
+    return CSRGraph.from_edges(all_edges, num_vertices=n)

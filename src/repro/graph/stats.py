@@ -1,0 +1,80 @@
+"""Graph statistics used for dataset characterization and experiment reporting.
+
+The paper characterizes its inputs by size, density, degree-distribution skew,
+and higher-order structure such as clique counts (§VIII-A).  These helpers
+compute those summaries for any :class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphStats", "graph_stats", "degree_histogram", "degree_skewness", "gini_coefficient"]
+
+
+def degree_histogram(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """``(degrees, counts)`` of the degree distribution."""
+    degs = graph.degrees
+    if degs.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    values, counts = np.unique(degs, return_counts=True)
+    return values, counts
+
+
+def degree_skewness(graph: CSRGraph) -> float:
+    """Sample skewness of the degree distribution (0 for regular graphs, large for power laws)."""
+    degs = graph.degrees.astype(np.float64)
+    if degs.size == 0:
+        return 0.0
+    mu = degs.mean()
+    sigma = degs.std()
+    if sigma == 0:
+        return 0.0
+    return float(np.mean(((degs - mu) / sigma) ** 3))
+
+
+def gini_coefficient(graph: CSRGraph) -> float:
+    """Gini coefficient of the degree distribution (another skew measure, in [0, 1))."""
+    degs = np.sort(graph.degrees.astype(np.float64))
+    if degs.size == 0 or degs.sum() == 0:
+        return 0.0
+    n = degs.size
+    cum = np.cumsum(degs)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph (one row of a dataset-characterization table)."""
+
+    num_vertices: int
+    num_edges: int
+    density: float
+    max_degree: int
+    average_degree: float
+    degree_skewness: float
+    degree_gini: float
+    isolated_vertices: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for table formatting."""
+        return asdict(self)
+
+
+def graph_stats(graph: CSRGraph) -> GraphStats:
+    """Compute the :class:`GraphStats` summary of ``graph``."""
+    degs = graph.degrees
+    return GraphStats(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        density=graph.num_edges / graph.num_vertices if graph.num_vertices else 0.0,
+        max_degree=graph.max_degree,
+        average_degree=graph.average_degree,
+        degree_skewness=degree_skewness(graph),
+        degree_gini=gini_coefficient(graph),
+        isolated_vertices=int(np.count_nonzero(degs == 0)),
+    )

@@ -1,0 +1,147 @@
+"""Multi-worker scheduling simulator — the substitute for the paper's 32-core testbed.
+
+The paper's scaling experiments (Figs. 8–9) run OpenMP code on a 32-core Xeon.
+Pure-Python cannot reproduce those absolute runtimes, but the *phenomena* the
+experiments demonstrate — near-ideal strong scaling, and the load-imbalance
+cliff that exact CSR intersections hit on skewed graphs while fixed-size PG
+sketches keep scaling — are entirely determined by how per-edge task costs
+distribute across workers.  This simulator reproduces exactly that:
+
+1. per-edge task costs come from the work–depth model of
+   :mod:`repro.parallel.workdepth` (Table IV);
+2. tasks are assigned to ``p`` workers with the same static chunked scheduling
+   an OpenMP ``parallel for`` uses (optionally longest-processing-time / greedy
+   dynamic scheduling);
+3. the simulated makespan is the maximum per-worker load plus a per-task
+   scheduling overhead.
+
+A single calibration constant (seconds per abstract operation) converts
+simulated load to seconds; it is measured once from a real vectorized kernel
+run so that the 1-thread points of the simulated curves line up with real
+single-process measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .workdepth import Scheme, construction_cost, intersection_costs_per_edge
+
+__all__ = ["ScheduleResult", "simulate_schedule", "simulate_strong_scaling", "simulate_algorithm_runtime"]
+
+#: Default cost (in abstract operations) charged per task for scheduling overhead.
+DEFAULT_TASK_OVERHEAD = 0.5
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of simulating one parallel execution."""
+
+    num_workers: int
+    makespan: float
+    total_work: float
+    per_worker_load: np.ndarray
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max load divided by mean load (1.0 = perfectly balanced)."""
+        mean = self.per_worker_load.mean()
+        return float(self.per_worker_load.max() / mean) if mean > 0 else 1.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``total_work / (p · makespan)`` — 1.0 for ideal scaling."""
+        denom = self.num_workers * self.makespan
+        return float(self.total_work / denom) if denom > 0 else 1.0
+
+
+def simulate_schedule(
+    task_costs: np.ndarray,
+    num_workers: int,
+    scheduling: str = "static",
+    task_overhead: float = DEFAULT_TASK_OVERHEAD,
+) -> ScheduleResult:
+    """Assign tasks to workers and return the simulated makespan.
+
+    ``scheduling`` is ``"static"`` (contiguous chunks, like OpenMP's default
+    schedule) or ``"dynamic"`` (greedy longest-processing-time assignment,
+    like ``schedule(dynamic)`` with small chunks).
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be at least 1")
+    costs = np.asarray(task_costs, dtype=np.float64) + task_overhead
+    if costs.size == 0:
+        return ScheduleResult(num_workers, 0.0, 0.0, np.zeros(num_workers))
+    loads = np.zeros(num_workers, dtype=np.float64)
+    if scheduling == "static":
+        boundaries = np.linspace(0, costs.size, num_workers + 1).astype(np.int64)
+        cumulative = np.concatenate([[0.0], np.cumsum(costs)])
+        for w in range(num_workers):
+            loads[w] = cumulative[boundaries[w + 1]] - cumulative[boundaries[w]]
+    elif scheduling == "dynamic":
+        # Greedy LPT: sort descending, always give the next task to the least-loaded worker.
+        order = np.argsort(costs)[::-1]
+        # Chunk the assignment loop for speed: process in blocks, using argmin per task.
+        for cost in costs[order]:
+            loads[np.argmin(loads)] += cost
+    else:
+        raise ValueError(f"unknown scheduling policy {scheduling!r}")
+    return ScheduleResult(num_workers, float(loads.max()), float(costs.sum()), loads)
+
+
+def simulate_algorithm_runtime(
+    graph: CSRGraph,
+    scheme: Scheme | str,
+    num_workers: int,
+    num_bits: int = 1024,
+    k: int = 16,
+    num_hashes: int = 2,
+    include_construction: bool = True,
+    scheduling: str = "static",
+    seconds_per_op: float = 1e-8,
+) -> float:
+    """Simulated runtime (seconds) of one edge-parallel algorithm run (TC / clustering).
+
+    The per-edge intersection costs are partitioned across ``num_workers``;
+    sketch construction (Table V), when included, is treated as perfectly
+    parallel over vertices (its work divided by ``p``), matching §VIII-G's
+    observation that construction is not a bottleneck.
+    """
+    scheme = Scheme(scheme)
+    per_edge = intersection_costs_per_edge(graph, scheme, num_bits=num_bits, k=k)
+    schedule = simulate_schedule(per_edge, num_workers, scheduling=scheduling)
+    total = schedule.makespan
+    if include_construction:
+        build = construction_cost(scheme, graph.degrees, num_hashes=num_hashes, k=k)
+        total += build.work / num_workers
+    return float(total * seconds_per_op)
+
+
+def simulate_strong_scaling(
+    graph: CSRGraph,
+    scheme: Scheme | str,
+    worker_counts: list[int] | None = None,
+    num_bits: int = 1024,
+    k: int = 16,
+    num_hashes: int = 2,
+    scheduling: str = "static",
+    seconds_per_op: float = 1e-8,
+) -> dict[int, float]:
+    """Simulated runtime for each worker count — one strong-scaling curve of Fig. 8."""
+    worker_counts = worker_counts or [1, 2, 4, 8, 16, 32]
+    return {
+        p: simulate_algorithm_runtime(
+            graph,
+            scheme,
+            p,
+            num_bits=num_bits,
+            k=k,
+            num_hashes=num_hashes,
+            scheduling=scheduling,
+            seconds_per_op=seconds_per_op,
+        )
+        for p in worker_counts
+    }

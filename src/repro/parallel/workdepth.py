@@ -1,0 +1,180 @@
+"""Work–depth cost models (Tables IV, V, and VI).
+
+The paper analyzes ProbGraph in the work–depth model: *work* is the total
+number of operations, *depth* the longest sequential dependency chain assuming
+unboundedly many threads.  These analytical models serve three purposes here:
+
+1. they regenerate the asymptotic entries of Tables IV–VI as concrete numbers
+   for a given graph and sketch parametrization;
+2. they provide the per-task costs consumed by the scheduling simulator
+   (:mod:`repro.parallel.simulator`) which reproduces the strong/weak scaling
+   figures; and
+3. they document, in code, why PG wins: same-size sketches → uniform task
+   costs → trivially balanced schedules.
+
+All costs are reported in abstract "operations"; the simulator converts them to
+time through a single calibration constant, so only *ratios* matter — exactly
+the quantity the paper's speedup plots report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..graph.csr import CSRGraph, WORD_BITS
+
+__all__ = [
+    "Scheme",
+    "WorkDepth",
+    "intersection_cost",
+    "intersection_costs_per_edge",
+    "construction_cost",
+    "algorithm_cost",
+]
+
+
+class Scheme(str, Enum):
+    """Set-intersection schemes compared in Table IV."""
+
+    CSR_MERGE = "csr_merge"
+    CSR_GALLOPING = "csr_galloping"
+    BLOOM = "bloom"
+    KHASH = "khash"
+    ONEHASH = "1hash"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class WorkDepth:
+    """A (work, depth) pair in abstract operations."""
+
+    work: float
+    depth: float
+
+    def __add__(self, other: "WorkDepth") -> "WorkDepth":
+        # Parallel composition of independent tasks: works add, depths take the max.
+        return WorkDepth(self.work + other.work, max(self.depth, other.depth))
+
+    def then(self, other: "WorkDepth") -> "WorkDepth":
+        """Sequential composition: works add, depths add."""
+        return WorkDepth(self.work + other.work, self.depth + other.depth)
+
+
+def _log2(x: float) -> float:
+    return float(np.log2(max(x, 2.0)))
+
+
+def intersection_cost(
+    scheme: Scheme | str,
+    deg_u: float,
+    deg_v: float,
+    num_bits: int = 1024,
+    k: int = 16,
+) -> WorkDepth:
+    """Work/depth of one ``|N_u ∩ N_v|`` evaluation — the rows of Table IV."""
+    scheme = Scheme(scheme)
+    if scheme is Scheme.CSR_MERGE:
+        work = deg_u + deg_v
+        depth = _log2(deg_u + deg_v)
+    elif scheme is Scheme.CSR_GALLOPING:
+        small, large = (deg_u, deg_v) if deg_u <= deg_v else (deg_v, deg_u)
+        work = max(small, 1.0) * _log2(large)
+        depth = _log2(deg_u + deg_v)
+    elif scheme is Scheme.BLOOM:
+        words = max(num_bits // WORD_BITS, 1)
+        work = float(words)
+        depth = _log2(words)
+    elif scheme in (Scheme.KHASH, Scheme.ONEHASH):
+        work = float(k)
+        depth = _log2(k)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown scheme {scheme}")
+    return WorkDepth(max(work, 1.0), max(depth, 1.0))
+
+
+def intersection_costs_per_edge(
+    graph: CSRGraph, scheme: Scheme | str, num_bits: int = 1024, k: int = 16
+) -> np.ndarray:
+    """Vectorized per-edge intersection work for every edge of ``graph``.
+
+    This is the task-size array the scheduling simulator partitions across
+    workers; for PG schemes it is constant (the load-balancing property).
+    """
+    scheme = Scheme(scheme)
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return np.empty(0, dtype=np.float64)
+    degs = graph.degrees.astype(np.float64)
+    du = degs[edges[:, 0]]
+    dv = degs[edges[:, 1]]
+    if scheme is Scheme.CSR_MERGE:
+        return np.maximum(du + dv, 1.0)
+    if scheme is Scheme.CSR_GALLOPING:
+        small = np.minimum(du, dv)
+        large = np.maximum(du, dv)
+        return np.maximum(small, 1.0) * np.log2(np.maximum(large, 2.0))
+    if scheme is Scheme.BLOOM:
+        words = max(num_bits // WORD_BITS, 1)
+        return np.full(edges.shape[0], float(words))
+    return np.full(edges.shape[0], float(k))
+
+
+def construction_cost(
+    scheme: Scheme | str, degrees: np.ndarray, num_hashes: int = 2, k: int = 16
+) -> WorkDepth:
+    """Work/depth of building all neighborhood sketches — Table V.
+
+    * Bloom filter of ``N_v``: ``O(b d_v)`` work, ``O(log(b d_v))`` depth.
+    * k-hash: ``O(k d_v)`` work, ``O(log d_v)`` depth.
+    * 1-hash: ``O(d_v)`` work, ``O(log d_v)`` depth.
+    CSR itself needs no construction (cost zero) in this accounting.
+    """
+    scheme = Scheme(scheme)
+    degs = np.asarray(degrees, dtype=np.float64)
+    if degs.size == 0:
+        return WorkDepth(0.0, 0.0)
+    max_deg = float(degs.max())
+    if scheme in (Scheme.CSR_MERGE, Scheme.CSR_GALLOPING):
+        return WorkDepth(0.0, 0.0)
+    if scheme is Scheme.BLOOM:
+        return WorkDepth(float(num_hashes * degs.sum()), _log2(num_hashes * max_deg))
+    if scheme is Scheme.KHASH:
+        return WorkDepth(float(k * degs.sum()), _log2(max_deg))
+    if scheme is Scheme.ONEHASH:
+        return WorkDepth(float(degs.sum()), _log2(max_deg))
+    raise ValueError(f"unknown scheme {scheme}")  # pragma: no cover
+
+
+def algorithm_cost(
+    algorithm: str,
+    graph: CSRGraph,
+    scheme: Scheme | str,
+    num_bits: int = 1024,
+    k: int = 16,
+) -> WorkDepth:
+    """Work/depth of a full PG-enhanced (or exact CSR) algorithm — Table VI.
+
+    ``algorithm`` is one of ``"triangle_count"``, ``"four_clique"``,
+    ``"clustering"``, ``"vertex_similarity"``.  The costs compose the per-edge
+    intersection model: TC and clustering evaluate one intersection per edge
+    (fully parallel outer loops, so depth is one intersection's depth);
+    4-clique multiplies the per-edge work by the average candidate-set size.
+    """
+    scheme = Scheme(scheme)
+    per_edge = intersection_costs_per_edge(graph, scheme, num_bits=num_bits, k=k)
+    if per_edge.size == 0:
+        return WorkDepth(0.0, 0.0)
+    one = intersection_cost(scheme, graph.average_degree, graph.average_degree, num_bits, k)
+    if algorithm in ("triangle_count", "clustering"):
+        return WorkDepth(float(per_edge.sum()), one.depth)
+    if algorithm == "vertex_similarity":
+        return WorkDepth(float(per_edge.mean()), one.depth)
+    if algorithm == "four_clique":
+        avg_c3 = max(graph.average_degree, 1.0)
+        return WorkDepth(float(per_edge.sum() * avg_c3), one.depth * _log2(graph.max_degree))
+    raise ValueError(f"unknown algorithm {algorithm!r}")

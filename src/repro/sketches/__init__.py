@@ -1,0 +1,45 @@
+"""Probabilistic set representations (sketches) used by ProbGraph.
+
+Exports the Bloom-filter, MinHash (k-hash and 1-hash / bottom-k), KMV, and
+HyperLogLog families along with their per-set and whole-graph batch containers.
+"""
+
+from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
+from .bloom import BloomFamily, BloomFilter, BloomNeighborhoodSketches
+from .hashing import HashFamily, MultiplyShiftFamily, hash_to_range, hash_to_unit, hash_u64, splitmix64
+from .hll import HyperLogLog
+from .kmv import KMVFamily, KMVNeighborhoodSketches, KMVSketch
+from .minhash import (
+    BottomKFamily,
+    BottomKNeighborhoodSketches,
+    BottomKSketch,
+    KHashFamily,
+    KHashNeighborhoodSketches,
+    KHashSignature,
+)
+
+__all__ = [
+    "SetSketch",
+    "SketchFamily",
+    "NeighborhoodSketches",
+    "as_id_array",
+    "BloomFilter",
+    "BloomFamily",
+    "BloomNeighborhoodSketches",
+    "KHashSignature",
+    "KHashFamily",
+    "KHashNeighborhoodSketches",
+    "BottomKSketch",
+    "BottomKFamily",
+    "BottomKNeighborhoodSketches",
+    "KMVSketch",
+    "KMVFamily",
+    "KMVNeighborhoodSketches",
+    "HyperLogLog",
+    "HashFamily",
+    "MultiplyShiftFamily",
+    "splitmix64",
+    "hash_u64",
+    "hash_to_unit",
+    "hash_to_range",
+]

@@ -1,0 +1,112 @@
+"""Abstract interfaces shared by every probabilistic set representation.
+
+The paper treats each representation (Bloom filter, k-hash MinHash, 1-hash
+MinHash, KMV) as a black box exposing two capabilities:
+
+* estimate the cardinality of the represented set, ``|X|``; and
+* estimate the cardinality of the intersection with another sketch of the same
+  kind and parameters, ``|X ∩ Y|``.
+
+Graph algorithms (``repro.algorithms``) only ever talk to sketches through
+these two operations, which is exactly the plug-in design of §V.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["SetSketch", "SketchFamily", "as_id_array"]
+
+
+def as_id_array(elements: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Normalize an element collection into a 1-D ``int64`` array.
+
+    Vertex IDs in the graph substrate are non-negative integers; sketches accept
+    any integer iterable for generality (the paper's §IV results hold for
+    arbitrary sets).
+    """
+    arr = np.asarray(list(elements) if not isinstance(elements, np.ndarray) else elements)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D collection of elements, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"set elements must be integers, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+class SetSketch(abc.ABC):
+    """A probabilistic representation of one set."""
+
+    @abc.abstractmethod
+    def cardinality(self) -> float:
+        """Estimate ``|X|`` for the represented set ``X``."""
+
+    @abc.abstractmethod
+    def intersection_cardinality(self, other: "SetSketch") -> float:
+        """Estimate ``|X ∩ Y|`` where ``other`` represents ``Y``.
+
+        Both sketches must come from the same :class:`SketchFamily` (same size
+        parameters and hash seeds); implementations raise ``ValueError``
+        otherwise.
+        """
+
+    @property
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Number of bits this sketch occupies (used for the budget accounting of §V-A)."""
+
+
+class SketchFamily(abc.ABC):
+    """A factory producing compatible sketches for many sets at once.
+
+    ProbGraph sketches *every* vertex neighborhood of a graph with identical
+    parameters so that intersections are over same-sized representations — the
+    load-balancing property highlighted in Fig. 1 (panel 5).  The family object
+    owns those shared parameters (sizes, hash seeds) and offers a batch
+    constructor that sketches all neighborhoods of a CSR graph in one
+    vectorized pass.
+    """
+
+    @abc.abstractmethod
+    def sketch(self, elements: Iterable[int] | np.ndarray) -> SetSketch:
+        """Sketch a single set."""
+
+    @abc.abstractmethod
+    def sketch_neighborhoods(self, indptr: np.ndarray, indices: np.ndarray) -> "NeighborhoodSketches":
+        """Sketch every neighborhood of a CSR adjacency structure in one pass."""
+
+    @property
+    @abc.abstractmethod
+    def bits_per_set(self) -> int:
+        """Storage (bits) used per sketched set; constant across sets by design."""
+
+
+class NeighborhoodSketches(abc.ABC):
+    """Per-vertex sketches for a whole graph, stored contiguously.
+
+    Provides vectorized pairwise estimation: given arrays ``u`` and ``v`` of
+    vertex IDs, return the estimated ``|N_u ∩ N_v|`` for every pair — the inner
+    operation of Listings 1–5.
+    """
+
+    @abc.abstractmethod
+    def pair_intersections(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Estimate ``|N_u ∩ N_v|`` element-wise for vertex arrays ``u``, ``v``."""
+
+    @abc.abstractmethod
+    def cardinalities(self) -> np.ndarray:
+        """Estimate ``|N_v|`` for every vertex ``v``."""
+
+    @property
+    @abc.abstractmethod
+    def num_sets(self) -> int:
+        """Number of sketched neighborhoods (``n`` for a graph)."""
+
+    @property
+    @abc.abstractmethod
+    def total_storage_bits(self) -> int:
+        """Total storage of all sketches, in bits."""

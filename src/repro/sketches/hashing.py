@@ -1,0 +1,180 @@
+"""Vectorized 64-bit hash families used by all probabilistic set representations.
+
+The paper uses MurmurHash3 (§VI-C).  MurmurHash3 is a byte-oriented hash; for a
+pure-NumPy implementation operating on arrays of integer vertex IDs, we use the
+splitmix64 finalizer (the same avalanche construction MurmurHash3's finalizer is
+based on) and a multiply-shift family.  Both are fast, vectorize over whole
+arrays, and mix well enough that the estimator theory (which only assumes
+roughly uniform, independent hash functions) holds in practice.
+
+All functions operate on ``numpy.uint64`` arrays and are deterministic given a
+seed, so sketches and experiments are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "splitmix64",
+    "hash_u64",
+    "hash_to_unit",
+    "hash_to_range",
+    "HashFamily",
+    "MultiplyShiftFamily",
+]
+
+# splitmix64 constants (Steele, Lea, Flood; also used in xoshiro seeding).
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_M2 = np.uint64(0x94D049BB133111EB)
+
+# Largest uint64 value as float, for mapping hashes into (0, 1].
+_U64_MAX_FLOAT = float(2**64)
+
+
+def _as_u64(x: np.ndarray | int) -> np.ndarray:
+    """Coerce an integer array (or scalar) to a uint64 ndarray without copying when possible."""
+    arr = np.asarray(x)
+    if arr.dtype != np.uint64:
+        arr = arr.astype(np.uint64, copy=False)
+    return arr
+
+
+def splitmix64(x: np.ndarray | int, seed: int = 0) -> np.ndarray:
+    """Apply the splitmix64 avalanche finalizer to ``x`` (element-wise).
+
+    Parameters
+    ----------
+    x:
+        Integer array (or scalar) of values to hash.  Interpreted as uint64.
+    seed:
+        Seed mixed into the input before finalization; different seeds give
+        (practically) independent hash functions.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint64 array of hashed values, same shape as ``x``.
+    """
+    # The seed offset is computed with Python integers (which do not overflow)
+    # and reduced mod 2**64; the array arithmetic below wraps silently.
+    offset = np.uint64(((int(seed) + 1) * int(_SM64_GAMMA)) & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        z = _as_u64(x) + offset
+        z = (z ^ (z >> np.uint64(30))) * _SM64_M1
+        z = (z ^ (z >> np.uint64(27))) * _SM64_M2
+        return z ^ (z >> np.uint64(31))
+
+
+def hash_u64(x: np.ndarray | int, seed: int = 0) -> np.ndarray:
+    """Alias for :func:`splitmix64`; the default 64-bit hash of the library."""
+    return splitmix64(x, seed)
+
+
+def hash_to_unit(x: np.ndarray | int, seed: int = 0) -> np.ndarray:
+    """Hash ``x`` into the half-open interval ``(0, 1]``.
+
+    Used by KMV sketches (paper §IX), whose hash functions are defined to map
+    elements uniformly at random into ``(0, 1]``.
+    """
+    h = splitmix64(x, seed)
+    # +1 shifts the range from [0, 2^64) to (0, 2^64], i.e. (0, 1] after scaling.
+    return (h.astype(np.float64) + 1.0) / _U64_MAX_FLOAT
+
+
+def hash_to_range(x: np.ndarray | int, modulus: int, seed: int = 0) -> np.ndarray:
+    """Hash ``x`` into ``[0, modulus)`` — used for Bloom-filter bit positions."""
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return (splitmix64(x, seed) % np.uint64(modulus)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class HashFamily:
+    """A seeded family of ``count`` (practically) independent hash functions.
+
+    The i-th member of the family is ``splitmix64(x, seed=base_seed + i)``.
+    This mirrors the paper's assumption of ``b`` (Bloom filters) or ``k``
+    (k-hash MinHash) independent hash functions (§II-D).
+    """
+
+    count: int
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"hash family must contain at least one function, got {self.count}")
+
+    def hash(self, x: np.ndarray | int, index: int) -> np.ndarray:
+        """Evaluate the ``index``-th hash function on ``x``."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"hash index {index} out of range [0, {self.count})")
+        return splitmix64(x, self.base_seed + index)
+
+    def hash_all(self, x: np.ndarray | int) -> np.ndarray:
+        """Evaluate every hash function on ``x``.
+
+        Returns an array of shape ``(count, len(x))`` — one row per hash
+        function — which is the layout batch sketch construction consumes.
+        """
+        x = _as_u64(np.atleast_1d(x))
+        out = np.empty((self.count, x.shape[0]), dtype=np.uint64)
+        for i in range(self.count):
+            out[i] = splitmix64(x, self.base_seed + i)
+        return out
+
+    def hash_all_to_range(self, x: np.ndarray | int, modulus: int) -> np.ndarray:
+        """Evaluate every hash function on ``x`` reduced modulo ``modulus``."""
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        return (self.hash_all(x) % np.uint64(modulus)).astype(np.int64)
+
+    def hash_all_to_unit(self, x: np.ndarray | int) -> np.ndarray:
+        """Evaluate every hash function on ``x`` mapped into ``(0, 1]``."""
+        h = self.hash_all(x)
+        return (h.astype(np.float64) + 1.0) / _U64_MAX_FLOAT
+
+
+@dataclass(frozen=True)
+class MultiplyShiftFamily:
+    """Dietzfelbinger-style multiply-shift hashing into ``[0, 2**out_bits)``.
+
+    A cheaper alternative family (one multiply and one shift per element); used
+    in ablation experiments to confirm that the estimators are not sensitive to
+    the specific hash family, as the theory predicts.
+    """
+
+    count: int
+    out_bits: int = 32
+    base_seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"hash family must contain at least one function, got {self.count}")
+        if not 1 <= self.out_bits <= 63:
+            raise ValueError(f"out_bits must be in [1, 63], got {self.out_bits}")
+
+    def _multiplier(self, index: int) -> np.uint64:
+        # Odd multiplier derived deterministically from the seed and index.
+        m = splitmix64(np.uint64(index), self.base_seed)
+        return np.uint64(m | np.uint64(1))
+
+    def hash(self, x: np.ndarray | int, index: int) -> np.ndarray:
+        """Evaluate the ``index``-th multiply-shift function on ``x``."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"hash index {index} out of range [0, {self.count})")
+        a = self._multiplier(index)
+        shift = np.uint64(64 - self.out_bits)
+        with np.errstate(over="ignore"):
+            return (_as_u64(x) * a) >> shift
+
+    def hash_all(self, x: np.ndarray | int) -> np.ndarray:
+        """Evaluate every multiply-shift function; shape ``(count, len(x))``."""
+        x = _as_u64(np.atleast_1d(x))
+        out = np.empty((self.count, x.shape[0]), dtype=np.uint64)
+        for i in range(self.count):
+            out[i] = self.hash(x, i)
+        return out

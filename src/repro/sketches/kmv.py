@@ -1,0 +1,202 @@
+"""K-Minimum-Values (KMV) sketches (paper §IX, Appendix G).
+
+A KMV sketch of ``X`` hashes every element into ``(0, 1]`` and keeps the ``k``
+smallest hash values.  The cardinality estimator is ``(k-1)/max(K_X)``
+(Eq. 39).  The union sketch ``K_{X∪Y}`` is formed by taking the ``k`` smallest
+values of ``K_X ∪ K_Y``, and the intersection is estimated by inclusion–
+exclusion (Eq. 40 with estimated sizes, Eq. 41 with exact sizes — the variant
+the graph algorithms use because degrees are known exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.estimators import kmv_intersection, kmv_intersection_exact_sizes, kmv_size
+from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
+from .hashing import hash_to_unit
+
+__all__ = ["KMVSketch", "KMVFamily", "KMVNeighborhoodSketches"]
+
+# Sentinel for unfilled slots: larger than any hash in (0, 1].
+_EMPTY = np.float64(2.0)
+_FLOAT_BITS = 64
+
+
+class KMVSketch(SetSketch):
+    """KMV sketch of a single set: the ``k`` smallest unit-interval hash values."""
+
+    __slots__ = ("k", "seed", "values", "exact_size")
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k < 2:
+            raise ValueError(f"KMV requires k >= 2, got {k}")
+        self.k = int(k)
+        self.seed = int(seed)
+        self.values = np.full(self.k, _EMPTY, dtype=np.float64)
+        self.exact_size = 0
+
+    @classmethod
+    def from_set(cls, elements: Iterable[int] | np.ndarray, k: int, seed: int = 0) -> "KMVSketch":
+        sk = cls(k, seed)
+        arr = as_id_array(elements)
+        if arr.size == 0:
+            return sk
+        arr = np.unique(arr)
+        hashes = np.sort(hash_to_unit(arr, seed))
+        kept = hashes[: k]
+        sk.values[: kept.size] = kept
+        sk.exact_size = int(arr.size)
+        return sk
+
+    def filled(self) -> int:
+        """Number of retained hash values (``min(k, |X|)``)."""
+        return int(np.count_nonzero(self.values < _EMPTY))
+
+    def cardinality(self) -> float:
+        """``|X|^K`` — Eq. (39); exact count when the sketch is not yet full."""
+        filled = self.filled()
+        if filled < self.k:
+            return float(filled)
+        return float(kmv_size(self.values[self.k - 1], self.k))
+
+    def _check_compatible(self, other: "KMVSketch") -> None:
+        if not isinstance(other, KMVSketch):
+            raise TypeError(f"cannot combine KMVSketch with {type(other).__name__}")
+        if (self.k, self.seed) != (other.k, other.seed):
+            raise ValueError("KMV sketches have incompatible parameters (k or seed)")
+
+    def union_cardinality(self, other: "KMVSketch") -> float:
+        """``|X∪Y|^K``: KMV estimate from the k smallest values of the merged sketch."""
+        self._check_compatible(other)
+        merged = np.concatenate([self.values[self.values < _EMPTY], other.values[other.values < _EMPTY]])
+        merged = np.unique(merged)  # identical hash values correspond to identical elements
+        if merged.size < self.k:
+            return float(merged.size)
+        kth = np.partition(merged, self.k - 1)[self.k - 1]
+        return float(kmv_size(kth, self.k))
+
+    def intersection_cardinality(
+        self, other: "KMVSketch", size_self: float | None = None, size_other: float | None = None
+    ) -> float:
+        """``|X∩Y|^K`` — Eq. (40) (estimated sizes) or Eq. (41) when exact sizes are given."""
+        union_est = self.union_cardinality(other)
+        if size_self is not None and size_other is not None:
+            return float(kmv_intersection_exact_sizes(size_self, size_other, union_est))
+        return float(kmv_intersection(self.cardinality(), other.cardinality(), union_est))
+
+    @property
+    def storage_bits(self) -> int:
+        return self.k * _FLOAT_BITS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KMVSketch(k={self.k}, filled={self.filled()}, exact_size={self.exact_size})"
+
+
+class KMVNeighborhoodSketches(NeighborhoodSketches):
+    """All per-vertex KMV sketches of a graph, as an ``(n, k)`` sorted float matrix."""
+
+    def __init__(self, values: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
+        self.values = values
+        self.k = int(k)
+        self.seed = int(seed)
+        self.exact_sizes = exact_sizes.astype(np.float64, copy=False)
+
+    @property
+    def num_sets(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def total_storage_bits(self) -> int:
+        return int(self.values.size) * _FLOAT_BITS
+
+    def cardinalities(self) -> np.ndarray:
+        filled = (self.values < _EMPTY).sum(axis=1)
+        kth = self.values[:, self.k - 1]
+        full = filled >= self.k
+        out = filled.astype(np.float64)
+        if np.any(full):
+            out[full] = (self.k - 1) / kth[full]
+        return out
+
+    def pair_union_estimates(self, u: np.ndarray, v: np.ndarray, chunk: int = 65536) -> np.ndarray:
+        """``|N_u ∪ N_v|^K`` for every pair (k smallest values of the merged rows)."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        out = np.empty(u.shape[0], dtype=np.float64)
+        for start in range(0, u.shape[0], chunk):
+            stop = min(start + chunk, u.shape[0])
+            merged = np.concatenate([self.values[u[start:stop]], self.values[v[start:stop]]], axis=1)
+            merged.sort(axis=1)
+            # Remove duplicate values (same element present in both sketches) by
+            # pushing them to the sentinel before re-sorting.
+            dup = np.zeros_like(merged, dtype=bool)
+            dup[:, 1:] = (merged[:, 1:] == merged[:, :-1]) & (merged[:, 1:] < _EMPTY)
+            merged[dup] = _EMPTY
+            merged.sort(axis=1)
+            distinct = (merged < _EMPTY).sum(axis=1)
+            kth = merged[:, self.k - 1]
+            full = distinct >= self.k
+            est = distinct.astype(np.float64)
+            est[full] = (self.k - 1) / kth[full]
+            out[start:stop] = est
+        return out
+
+    def pair_intersections(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """``|N_u ∩ N_v|^K`` for every pair — Eq. (41) with exact degrees."""
+        union_est = self.pair_union_estimates(u, v)
+        su = self.exact_sizes[np.asarray(u, dtype=np.int64)]
+        sv = self.exact_sizes[np.asarray(v, dtype=np.int64)]
+        return np.asarray(kmv_intersection_exact_sizes(su, sv, union_est), dtype=np.float64)
+
+    def sketch_of(self, v: int) -> KMVSketch:
+        """Materialize the standalone KMV sketch of vertex ``v`` (mostly for tests)."""
+        sk = KMVSketch(self.k, self.seed)
+        sk.values = self.values[int(v)].copy()
+        sk.exact_size = int(self.exact_sizes[int(v)])
+        return sk
+
+
+class KMVFamily(SketchFamily):
+    """Factory of compatible KMV sketches sharing ``(k, seed)``."""
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k < 2:
+            raise ValueError(f"KMV requires k >= 2, got {k}")
+        self.k = int(k)
+        self.seed = int(seed)
+
+    @property
+    def bits_per_set(self) -> int:
+        return self.k * _FLOAT_BITS
+
+    def sketch(self, elements: Iterable[int] | np.ndarray) -> KMVSketch:
+        return KMVSketch.from_set(elements, self.k, self.seed)
+
+    def sketch_neighborhoods(self, indptr: np.ndarray, indices: np.ndarray) -> KMVNeighborhoodSketches:
+        """Batch construction mirroring :class:`BottomKFamily` but with unit-interval hashes."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        n = indptr.shape[0] - 1
+        degrees = np.diff(indptr)
+        values = np.full((n, self.k), _EMPTY, dtype=np.float64)
+        if indices.size:
+            hashes = hash_to_unit(indices, self.seed)
+            order = np.argsort(degrees, kind="stable")
+            sorted_deg = degrees[order]
+            boundaries = np.flatnonzero(np.diff(sorted_deg)) + 1
+            groups = np.split(order, boundaries)
+            for group in groups:
+                if group.size == 0:
+                    continue
+                d = int(degrees[group[0]])
+                if d == 0:
+                    continue
+                starts = indptr[group]
+                gather = starts[:, None] + np.arange(d)[None, :]
+                block = np.sort(hashes[gather], axis=1)
+                keep = min(self.k, d)
+                values[group, :keep] = block[:, :keep]
+        return KMVNeighborhoodSketches(values, self.k, self.seed, degrees.astype(np.float64))

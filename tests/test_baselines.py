@@ -1,0 +1,108 @@
+"""Tests for the comparison baselines: Doulion, Colorful TC, and the heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import triangle_count
+from repro.baselines import (
+    auto_approximate_triangle_count,
+    colorful_triangle_count,
+    doulion_triangle_count,
+    partial_processing_triangle_count,
+    reduced_execution_triangle_count,
+)
+from repro.graph import complete_graph, kronecker_graph, ring_graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = kronecker_graph(scale=9, edge_factor=10, seed=8)
+    return graph, float(triangle_count(graph))
+
+
+class TestDoulion:
+    def test_keep_all_is_exact(self, k10):
+        result = doulion_triangle_count(k10, keep_probability=1.0, seed=0)
+        assert float(result) == 120.0
+        assert result.kept_edges == 45
+
+    def test_unbiased_over_seeds(self, workload):
+        graph, exact = workload
+        estimates = [float(doulion_triangle_count(graph, 0.5, seed=s)) for s in range(10)]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.25)
+
+    def test_triangle_free(self, ring10):
+        assert float(doulion_triangle_count(ring10, 0.5, seed=1)) == 0.0
+
+    def test_invalid_probability(self, k6):
+        with pytest.raises(ValueError):
+            doulion_triangle_count(k6, 0.0)
+        with pytest.raises(ValueError):
+            doulion_triangle_count(k6, 1.5)
+
+
+class TestColorful:
+    def test_one_color_is_exact(self, k10):
+        result = colorful_triangle_count(k10, num_colors=1, seed=0)
+        assert float(result) == 120.0
+
+    def test_unbiased_over_seeds(self, workload):
+        graph, exact = workload
+        estimates = [float(colorful_triangle_count(graph, 2, seed=s)) for s in range(12)]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.35)
+
+    def test_kept_edges_shrink_with_colors(self, workload):
+        graph, _ = workload
+        few = colorful_triangle_count(graph, 2, seed=1)
+        many = colorful_triangle_count(graph, 8, seed=1)
+        assert many.kept_edges < few.kept_edges
+
+    def test_invalid_colors(self, k6):
+        with pytest.raises(ValueError):
+            colorful_triangle_count(k6, 0)
+
+
+class TestHeuristics:
+    def test_reduced_execution_full_fraction_close_to_exact(self, k10):
+        result = reduced_execution_triangle_count(k10, fraction=1.0, seed=0)
+        assert float(result) == pytest.approx(120.0, rel=1e-9)
+
+    def test_partial_processing_full_fraction_exact(self, k10):
+        result = partial_processing_triangle_count(k10, fraction=1.0, seed=0)
+        assert float(result) == 120.0
+
+    def test_auto_approximate_variants(self, workload):
+        graph, exact = workload
+        est1 = float(auto_approximate_triangle_count(graph, variant=1, seed=3))
+        est2 = float(auto_approximate_triangle_count(graph, variant=2, seed=3))
+        # The heuristics are rough: within a factor ~2 of the truth is expected.
+        assert est1 == pytest.approx(exact, rel=1.0)
+        assert est2 == pytest.approx(exact, rel=1.0)
+
+    def test_heuristics_rough_on_sampled_fraction(self, workload):
+        graph, exact = workload
+        result = reduced_execution_triangle_count(graph, fraction=0.5, seed=4)
+        assert float(result) == pytest.approx(exact, rel=0.6)
+        result = partial_processing_triangle_count(graph, fraction=0.5, seed=4)
+        assert float(result) == pytest.approx(exact, rel=0.9)
+
+    def test_names_recorded(self, k6):
+        assert reduced_execution_triangle_count(k6, 0.5, 0).name == "reduced_execution"
+        assert partial_processing_triangle_count(k6, 0.5, 0).name == "partial_processing"
+        assert auto_approximate_triangle_count(k6, 1, 0).name == "auto_approximate_1"
+
+    def test_invalid_parameters(self, k6):
+        with pytest.raises(ValueError):
+            reduced_execution_triangle_count(k6, 0.0)
+        with pytest.raises(ValueError):
+            partial_processing_triangle_count(k6, 2.0)
+        with pytest.raises(ValueError):
+            auto_approximate_triangle_count(k6, variant=3)
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        empty = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=5)
+        assert float(doulion_triangle_count(empty, 0.5)) == 0.0
+        assert float(colorful_triangle_count(empty, 2)) == 0.0
+        assert float(reduced_execution_triangle_count(empty, 0.5)) == 0.0

@@ -1,0 +1,198 @@
+"""Unit tests for Bloom-filter sketches and their batch (whole-graph) container."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import EstimatorKind
+from repro.graph import CSRGraph, erdos_renyi_graph
+from repro.sketches.bloom import BloomFamily, BloomFilter, BloomNeighborhoodSketches
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        elements = np.arange(0, 200, 2)
+        bf = BloomFilter.from_set(elements, num_bits=2048, num_hashes=3, seed=1)
+        assert np.all(bf.contains_many(elements))
+
+    def test_single_membership(self):
+        bf = BloomFilter(256, 2, seed=0).add(42)
+        assert bf.contains(42)
+
+    def test_false_positive_rate_small_for_large_filter(self):
+        elements = np.arange(100)
+        bf = BloomFilter.from_set(elements, num_bits=8192, num_hashes=3, seed=5)
+        queries = np.arange(10_000, 20_000)
+        fp_rate = bf.contains_many(queries).mean()
+        assert fp_rate < 0.01
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(512, 2)
+        assert not bf.contains(7)
+        assert bf.ones() == 0
+
+    def test_ones_count_monotone(self):
+        bf = BloomFilter(1024, 2, seed=3)
+        previous = 0
+        for batch in np.split(np.arange(300), 3):
+            bf.add_many(batch)
+            assert bf.ones() >= previous
+            previous = bf.ones()
+
+    def test_cardinality_estimate_close(self):
+        elements = np.arange(500)
+        bf = BloomFilter.from_set(elements, num_bits=16384, num_hashes=2, seed=2)
+        assert bf.cardinality() == pytest.approx(500, rel=0.1)
+
+    def test_cardinality_zero_for_empty(self):
+        assert BloomFilter(256, 2).cardinality() == 0.0
+
+    def test_fill_fraction_and_fp_probability(self):
+        bf = BloomFilter.from_set(np.arange(100), num_bits=1024, num_hashes=2, seed=1)
+        assert 0 < bf.fill_fraction() < 1
+        assert 0 < bf.false_positive_probability() < 1
+
+    def test_intersection_estimate_overlapping_sets(self):
+        x = np.arange(0, 400)
+        y = np.arange(200, 600)
+        fam = BloomFamily(16384, 2, seed=9)
+        bx, by = fam.sketch(x), fam.sketch(y)
+        est = bx.intersection_cardinality(by)
+        assert est == pytest.approx(200, rel=0.2)
+
+    def test_intersection_estimate_disjoint_sets(self):
+        fam = BloomFamily(8192, 2, seed=9)
+        bx = fam.sketch(np.arange(0, 100))
+        by = fam.sketch(np.arange(1000, 1100))
+        assert bx.intersection_cardinality(by) < 10
+
+    def test_intersection_identical_sets(self):
+        fam = BloomFamily(8192, 2, seed=4)
+        bx = fam.sketch(np.arange(150))
+        by = fam.sketch(np.arange(150))
+        assert bx.intersection_cardinality(by) == pytest.approx(150, rel=0.15)
+
+    @pytest.mark.parametrize("estimator", [EstimatorKind.BF_AND, EstimatorKind.BF_LIMIT, EstimatorKind.BF_OR])
+    def test_all_bf_estimators_reasonable(self, estimator):
+        x = np.arange(0, 300)
+        y = np.arange(100, 400)
+        fam = BloomFamily(16384, 2, seed=11)
+        est = fam.sketch(x).intersection_cardinality(fam.sketch(y), estimator=estimator)
+        assert est == pytest.approx(200, rel=0.35)
+
+    def test_incompatible_filters_rejected(self):
+        a = BloomFilter.from_set([1, 2], 256, 2, seed=0)
+        b = BloomFilter.from_set([1, 2], 512, 2, seed=0)
+        c = BloomFilter.from_set([1, 2], 256, 2, seed=1)
+        with pytest.raises(ValueError):
+            a.intersection_cardinality(b)
+        with pytest.raises(ValueError):
+            a.intersection_cardinality(c)
+        with pytest.raises(TypeError):
+            a.intersection_cardinality("not a filter")
+
+    def test_minhash_estimator_kind_rejected(self):
+        fam = BloomFamily(256, 2)
+        with pytest.raises(ValueError):
+            fam.sketch([1]).intersection_cardinality(fam.sketch([2]), estimator=EstimatorKind.MINHASH_K)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 2)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+        with pytest.raises(ValueError):
+            BloomFamily(-1)
+
+    def test_storage_bits_word_aligned(self):
+        bf = BloomFilter(100, 2)
+        assert bf.storage_bits == 128  # two 64-bit words
+
+    def test_union_ones_at_least_each(self):
+        fam = BloomFamily(1024, 2, seed=5)
+        a, b = fam.sketch(np.arange(30)), fam.sketch(np.arange(30, 60))
+        assert a.union_ones(b) >= max(a.ones(), b.ones())
+        assert a.intersection_ones(b) <= min(a.ones(), b.ones())
+
+    def test_add_returns_self_for_chaining(self):
+        bf = BloomFilter(128, 1)
+        assert bf.add(1).add(2) is bf
+
+
+class TestBloomFamilyBatch:
+    def _graph(self):
+        return erdos_renyi_graph(60, p=0.15, seed=3)
+
+    def test_batch_matches_single_set_sketches(self):
+        graph = self._graph()
+        fam = BloomFamily(1024, 2, seed=7)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        for v in [0, 5, 17, 42]:
+            single = fam.sketch(graph.neighbors(v))
+            assert np.array_equal(batch.words[v], single.words)
+
+    def test_pair_intersections_match_single_pairs(self):
+        graph = self._graph()
+        fam = BloomFamily(2048, 2, seed=7)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()[:20]
+        batch_est = batch.pair_intersections(edges[:, 0], edges[:, 1])
+        for i, (u, v) in enumerate(edges):
+            single = fam.sketch(graph.neighbors(int(u))).intersection_cardinality(
+                fam.sketch(graph.neighbors(int(v)))
+            )
+            assert batch_est[i] == pytest.approx(single, abs=1e-9)
+
+    def test_batch_estimates_close_to_exact(self):
+        graph = self._graph()
+        fam = BloomFamily(4096, 2, seed=1)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        edges, exact = graph.common_neighbors_all_edges()
+        est = batch.pair_intersections(edges[:, 0], edges[:, 1])
+        mask = exact > 0
+        rel_err = np.abs(est[mask] - exact[mask]) / exact[mask]
+        assert np.median(rel_err) < 0.5
+
+    def test_cardinalities_close_to_degrees(self):
+        graph = self._graph()
+        fam = BloomFamily(4096, 2, seed=1)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        degs = graph.degrees
+        est = batch.cardinalities()
+        mask = degs > 0
+        assert np.median(np.abs(est[mask] - degs[mask]) / degs[mask]) < 0.2
+
+    def test_or_estimator_on_batch(self):
+        graph = self._graph()
+        fam = BloomFamily(2048, 2, seed=2)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()[:10]
+        est = batch.pair_intersections(edges[:, 0], edges[:, 1], estimator=EstimatorKind.BF_OR)
+        assert np.all(est >= 0)
+
+    def test_sketch_of_roundtrip(self):
+        graph = self._graph()
+        fam = BloomFamily(512, 2, seed=2)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        single = batch.sketch_of(3)
+        assert isinstance(single, BloomFilter)
+        assert single.ones() == int(np.bitwise_count(batch.words[3]).sum())
+
+    def test_total_storage_and_num_sets(self):
+        graph = self._graph()
+        fam = BloomFamily(1024, 2, seed=2)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        assert batch.num_sets == graph.num_vertices
+        assert batch.total_storage_bits == graph.num_vertices * fam.bits_per_set
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=5)
+        fam = BloomFamily(256, 2)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        assert batch.num_sets == 5
+        assert np.all(batch.cardinalities() == 0)
+
+    def test_rejects_unknown_estimator(self):
+        graph = self._graph()
+        batch = BloomFamily(256, 1).sketch_neighborhoods(graph.indptr, graph.indices)
+        with pytest.raises(ValueError):
+            batch.pair_intersections(np.array([0]), np.array([1]), estimator="kH")

@@ -1,0 +1,153 @@
+"""Unit tests for the concentration / MSE bounds of §IV, §VII, and the Appendix."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    bf_and_deviation_bound,
+    bf_and_mse_bound,
+    bf_assumption_satisfied,
+    bf_linear_deviation_bound,
+    bf_linear_mse_bound,
+    kmv_deviation_probability,
+    kmv_intersection_deviation_bound,
+    minhash_deviation_bound,
+    minhash_required_k,
+    tc_deviation_bound_bf,
+    tc_deviation_bound_minhash,
+    tc_deviation_bound_minhash_chromatic,
+)
+
+
+class TestBloomBounds:
+    def test_assumption_check(self):
+        assert bf_assumption_satisfied(10, 4096, 2)
+        assert not bf_assumption_satisfied(10**6, 256, 4)
+
+    def test_mse_bound_nonnegative_and_grows_with_size(self):
+        small = bf_and_mse_bound(10, 4096, 2)
+        large = bf_and_mse_bound(100, 4096, 2)
+        assert 0 <= small <= large
+
+    def test_mse_bound_shrinks_with_bigger_filter(self):
+        tight = bf_and_mse_bound(50, 65536, 2)
+        loose = bf_and_mse_bound(50, 1024, 2)
+        assert tight < loose
+
+    def test_deviation_bound_is_probability(self):
+        for t in (1.0, 5.0, 50.0):
+            p = bf_and_deviation_bound(t, 30, 4096, 2)
+            assert 0.0 <= p <= 1.0
+
+    def test_deviation_bound_decreasing_in_t(self):
+        t = np.array([1.0, 5.0, 20.0, 100.0])
+        p = bf_and_deviation_bound(t, 30, 4096, 2)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_linear_mse_bound_for_limit_estimator(self):
+        bound = bf_linear_mse_bound(40, 4096, 2)
+        assert bound >= 0
+
+    def test_linear_deviation_bound_probability(self):
+        p = bf_linear_deviation_bound(10.0, 40, 4096, 2)
+        assert 0 <= p <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            bf_and_mse_bound(10, 1, 2)
+        with pytest.raises(ValueError):
+            bf_and_deviation_bound(0.0, 10, 1024, 2)
+        with pytest.raises(ValueError):
+            bf_linear_mse_bound(10, 0, 2)
+
+
+class TestMinHashBounds:
+    def test_probability_range(self):
+        assert 0 <= minhash_deviation_bound(5.0, 100, 100, 64) <= 1
+
+    def test_exponential_decay_in_t(self):
+        t = np.array([0.0, 10.0, 50.0, 200.0])
+        p = minhash_deviation_bound(t, 100, 100, 64)
+        assert np.all(np.diff(p) <= 0)
+        assert p[-1] < 1e-3
+
+    def test_tightens_with_k(self):
+        loose = minhash_deviation_bound(30.0, 100, 100, 8)
+        tight = minhash_deviation_bound(30.0, 100, 100, 512)
+        assert tight <= loose
+
+    def test_required_k_achieves_confidence(self):
+        k = minhash_required_k(t=20.0, size_x=100, size_y=100, confidence=0.95)
+        assert minhash_deviation_bound(20.0, 100, 100, k) <= 0.05 + 1e-9
+
+    def test_required_k_monotone_in_accuracy(self):
+        assert minhash_required_k(5.0, 100, 100) > minhash_required_k(20.0, 100, 100)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            minhash_deviation_bound(1.0, 100, 100, 0)
+        with pytest.raises(ValueError):
+            minhash_deviation_bound(-1.0, 100, 100, 4)
+        with pytest.raises(ValueError):
+            minhash_required_k(0.0, 10, 10)
+        with pytest.raises(ValueError):
+            minhash_required_k(1.0, 10, 10, confidence=1.5)
+
+
+class TestTriangleCountBounds:
+    def test_bf_bound_probability_and_decay(self):
+        t = np.array([10.0, 100.0, 10_000.0])
+        p = tc_deviation_bound_bf(t, num_edges=500, max_degree=20, num_bits=4096, num_hashes=2)
+        assert np.all((p >= 0) & (p <= 1))
+        assert np.all(np.diff(p) <= 0)
+
+    def test_minhash_bound_decay_and_k_dependence(self):
+        degrees = np.full(100, 10)
+        loose = tc_deviation_bound_minhash(500.0, degrees, 8)
+        tight = tc_deviation_bound_minhash(500.0, degrees, 256)
+        assert tight <= loose <= 1.0
+
+    def test_chromatic_bound_tighter_for_low_degree(self):
+        # On a bounded-degree graph the chromatic bound should eventually win for large t.
+        degrees = np.full(1000, 6)
+        t = 2000.0
+        plain = tc_deviation_bound_minhash(t, degrees, 64)
+        chromatic = tc_deviation_bound_minhash_chromatic(t, degrees, 64)
+        assert chromatic <= plain
+
+    def test_zero_degree_graph(self):
+        degrees = np.zeros(10)
+        assert tc_deviation_bound_minhash(1.0, degrees, 4) == 0.0
+        assert tc_deviation_bound_minhash_chromatic(1.0, degrees, 4) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            tc_deviation_bound_bf(0.0, 10, 5, 1024, 2)
+        with pytest.raises(ValueError):
+            tc_deviation_bound_minhash(1.0, np.array([1, 2]), 0)
+
+
+class TestKMVBounds:
+    def test_coverage_probability_range(self):
+        p = kmv_deviation_probability(50.0, 1000, 64)
+        assert 0 <= p <= 1
+
+    def test_coverage_increases_with_t(self):
+        p_small = kmv_deviation_probability(10.0, 1000, 64)
+        p_large = kmv_deviation_probability(500.0, 1000, 64)
+        assert p_large >= p_small
+
+    def test_not_full_sketch_is_exact(self):
+        assert kmv_deviation_probability(1.0, 10, 64) == 1.0
+
+    def test_intersection_union_bound(self):
+        p = kmv_intersection_deviation_bound(300.0, 500, 500, 800, 64)
+        assert 0 <= p <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kmv_deviation_probability(1.0, 100, 1)
+        with pytest.raises(ValueError):
+            kmv_deviation_probability(-1.0, 100, 8)
+        with pytest.raises(ValueError):
+            kmv_intersection_deviation_bound(0.0, 10, 10, 15, 8)

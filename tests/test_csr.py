@@ -1,0 +1,180 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, complete_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, triangle_graph):
+        assert triangle_graph.num_vertices == 4
+        assert triangle_graph.num_edges == 4
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_merged(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_neighborhoods_sorted(self, k6):
+        for v in range(k6.num_vertices):
+            nbrs = k6.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_explicit_num_vertices(self):
+        g = CSRGraph.from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([(0, 5)], num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([(-1, 2)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(np.array([1, 2, 3]))
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+
+    def test_inconsistent_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([0, 1]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([0, 1, 5]), np.array([1, 0]))
+
+    def test_networkx_roundtrip(self, k6):
+        nx_graph = k6.to_networkx()
+        back = CSRGraph.from_networkx(nx_graph)
+        assert back == k6
+
+    def test_equality(self, triangle_graph):
+        other = CSRGraph.from_edges([(2, 3), (0, 1), (1, 2), (2, 0)])
+        assert triangle_graph == other
+        assert triangle_graph != CSRGraph.from_edges([(0, 1)])
+
+
+class TestStructure:
+    def test_degrees(self, triangle_graph):
+        assert np.array_equal(triangle_graph.degrees, [2, 2, 3, 1])
+        assert triangle_graph.degree(2) == 3
+        assert triangle_graph.max_degree == 3
+
+    def test_average_degree(self, k6):
+        assert k6.average_degree == pytest.approx(5.0)
+
+    def test_neighbors_out_of_range(self, triangle_graph):
+        with pytest.raises(IndexError):
+            triangle_graph.neighbors(17)
+
+    def test_has_edge(self, triangle_graph):
+        assert triangle_graph.has_edge(0, 1)
+        assert triangle_graph.has_edge(1, 0)
+        assert not triangle_graph.has_edge(0, 3)
+
+    def test_edge_array_canonical(self, k6):
+        edges = k6.edge_array()
+        assert edges.shape == (15, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_adjacency_matrix(self, triangle_graph):
+        adj = triangle_graph.adjacency_matrix()
+        assert adj.shape == (4, 4)
+        assert adj.nnz == 8
+        assert (adj != adj.T).nnz == 0
+
+    def test_storage_bits(self, k6):
+        assert k6.storage_bits == (30 + 7) * 64
+
+
+class TestExactIntersections:
+    def test_merge_and_galloping_agree(self, rng):
+        a = np.unique(rng.integers(0, 200, size=60))
+        b = np.unique(rng.integers(0, 200, size=60))
+        expected = len(set(a.tolist()) & set(b.tolist()))
+        assert CSRGraph.intersect_merge(a, b) == expected
+        assert CSRGraph.intersect_galloping(a, b) == expected
+
+    def test_galloping_empty_sets(self):
+        assert CSRGraph.intersect_galloping(np.array([], dtype=np.int64), np.array([1, 2])) == 0
+
+    @pytest.mark.parametrize("method", ["merge", "galloping", "auto"])
+    def test_common_neighbors_methods_agree(self, k6, method):
+        # In K6 any two adjacent vertices share the other 4 vertices.
+        assert k6.common_neighbors(0, 1, method=method) == 4
+
+    def test_common_neighbors_unknown_method(self, k6):
+        with pytest.raises(ValueError):
+            k6.common_neighbors(0, 1, method="bogus")
+
+    def test_common_neighbors_pairs_small_and_large_paths_agree(self, er_graph):
+        edges = er_graph.edge_array()
+        u, v = edges[:300, 0], edges[:300, 1]
+        large_path = er_graph.common_neighbors_pairs(u, v)
+        small_path = np.array([er_graph.common_neighbors(int(a), int(b)) for a, b in zip(u, v)])
+        assert np.array_equal(large_path, small_path)
+
+    def test_common_neighbors_all_edges_triangle(self, triangle_graph):
+        edges, counts = triangle_graph.common_neighbors_all_edges()
+        # Only the three triangle edges have exactly one common neighbor.
+        assert counts.sum() == 3
+        assert edges.shape[0] == 4
+
+    def test_common_neighbors_all_edges_triangle_free(self, ring10):
+        _, counts = ring10.common_neighbors_all_edges()
+        assert counts.sum() == 0
+
+
+class TestOrientation:
+    def test_oriented_edge_count(self, k6):
+        oriented = k6.oriented()
+        assert oriented.indices.shape[0] == k6.num_edges  # each edge exactly once
+
+    def test_oriented_is_acyclic(self, kron_small):
+        import networkx as nx
+
+        oriented = kron_small.oriented()
+        dag = nx.DiGraph()
+        for v in range(oriented.num_vertices):
+            for u in oriented.neighbors(v):
+                dag.add_edge(int(v), int(u))
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_oriented_respects_degree_order(self, star20):
+        oriented = star20.oriented()
+        # Leaves (degree 1) must point at the hub (degree 19), not vice versa.
+        assert oriented.degree(0) == 0
+        assert all(oriented.degree(v) == 1 for v in range(1, 20))
+
+    def test_degree_order_ranks_are_permutation(self, kron_small):
+        ranks = kron_small.degree_order_ranks()
+        assert np.array_equal(np.sort(ranks), np.arange(kron_small.num_vertices))
+
+
+class TestEditing:
+    def test_subgraph_of_clique(self, k10):
+        sub = k10.subgraph(np.array([0, 1, 2, 3]))
+        assert sub == complete_graph(4)
+
+    def test_subgraph_empty_selection(self, k6):
+        sub = k6.subgraph(np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+
+    def test_remove_edges(self, k6):
+        removed = k6.remove_edges(np.array([[0, 1], [2, 3]]))
+        assert removed.num_edges == 13
+        assert not removed.has_edge(0, 1)
+        assert not removed.has_edge(3, 2)
+
+    def test_remove_edges_noop(self, k6):
+        assert k6.remove_edges(np.empty((0, 2), dtype=np.int64)) == k6

@@ -1,0 +1,165 @@
+"""Unit tests for the pure estimator formulas of §IV (repro.core.estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    EstimatorKind,
+    bf_intersection_and,
+    bf_intersection_limit,
+    bf_intersection_or,
+    bf_size_papapetrou,
+    bf_size_swamidass,
+    jaccard_to_intersection,
+    kmv_intersection,
+    kmv_intersection_exact_sizes,
+    kmv_size,
+    minhash_intersection,
+    minhash_jaccard,
+)
+
+
+class TestSwamidassEstimator:
+    def test_zero_ones_gives_zero(self):
+        assert bf_size_swamidass(0, 1024, 2) == 0.0
+
+    def test_monotone_in_ones(self):
+        ones = np.arange(0, 1000, 50)
+        est = bf_size_swamidass(ones, 1024, 2)
+        assert np.all(np.diff(est) > 0)
+
+    def test_inverse_of_expected_fill(self):
+        # For |X| elements, the expected ones count is B(1 - exp(-b|X|/B));
+        # plugging that into the estimator must return |X| (the derivation of Eq. 1).
+        B, b, size = 4096, 2, 300
+        expected_ones = B * (1 - np.exp(-b * size / B))
+        assert bf_size_swamidass(expected_ones, B, b) == pytest.approx(size, rel=0.01)
+
+    def test_full_filter_regularized(self):
+        est = bf_size_swamidass(1024, 1024, 2)
+        assert np.isfinite(est)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            bf_size_swamidass(10, 0, 2)
+        with pytest.raises(ValueError):
+            bf_size_swamidass(10, 64, 0)
+        with pytest.raises(ValueError):
+            bf_size_swamidass(-1, 64, 1)
+        with pytest.raises(ValueError):
+            bf_size_swamidass(65, 64, 1)
+
+    def test_papapetrou_close_to_swamidass_for_large_filters(self):
+        ones = 300
+        s = bf_size_swamidass(ones, 8192, 2)
+        p = bf_size_papapetrou(ones, 8192, 2)
+        assert p == pytest.approx(s, rel=0.01)
+
+    def test_array_broadcasting(self):
+        est = bf_size_swamidass(np.array([0, 10, 100]), 1024, 1)
+        assert est.shape == (3,)
+
+
+class TestBFIntersectionEstimators:
+    def test_and_equals_swamidass_on_and_ones(self):
+        assert bf_intersection_and(77, 2048, 2) == bf_size_swamidass(77, 2048, 2)
+
+    def test_limit_is_ones_over_b(self):
+        assert bf_intersection_limit(42, 2) == 21.0
+        assert bf_intersection_limit(0, 4) == 0.0
+
+    def test_limit_approximates_and_for_large_filters(self):
+        # Eq. (4): AND -> ones/b as B -> infinity.
+        ones = 50
+        approx = bf_intersection_and(ones, 10**7, 2)
+        assert approx == pytest.approx(bf_intersection_limit(ones, 2), rel=0.01)
+
+    def test_or_inclusion_exclusion(self):
+        # With the union filter's expected fill for |X∪Y|=400 and |X|=|Y|=300,
+        # the OR estimator should return about 200.
+        B, b = 8192, 2
+        union = 400
+        expected_union_ones = B * (1 - np.exp(-b * union / B))
+        est = bf_intersection_or(expected_union_ones, 300, 300, B, b)
+        assert est == pytest.approx(200, rel=0.05)
+
+    def test_or_clamped_non_negative(self):
+        est = bf_intersection_or(1000, 10, 10, 1024, 1)
+        assert est >= 0.0
+
+    def test_limit_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            bf_intersection_limit(5, 0)
+        with pytest.raises(ValueError):
+            bf_intersection_limit(-1, 2)
+
+
+class TestMinHashEstimators:
+    def test_jaccard_bounds(self):
+        assert minhash_jaccard(0, 16) == 0.0
+        assert minhash_jaccard(16, 16) == 1.0
+
+    def test_jaccard_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            minhash_jaccard(5, 0)
+        with pytest.raises(ValueError):
+            minhash_jaccard(17, 16)
+        with pytest.raises(ValueError):
+            minhash_jaccard(-1, 16)
+
+    def test_intersection_formula(self):
+        # J = 0.5, |X|+|Y| = 600  ->  |X∩Y| = 0.5/1.5 * 600 = 200
+        assert minhash_intersection(8, 16, 300, 300) == pytest.approx(200.0)
+
+    def test_intersection_zero_when_no_matches(self):
+        assert minhash_intersection(0, 16, 300, 300) == 0.0
+
+    def test_intersection_identical_sets(self):
+        # J = 1 -> |X∩Y| = (|X|+|Y|)/2 = |X|
+        assert minhash_intersection(16, 16, 250, 250) == pytest.approx(250.0)
+
+    def test_jaccard_to_intersection_rejects_bad_jaccard(self):
+        with pytest.raises(ValueError):
+            jaccard_to_intersection(1.5, 10, 10)
+        with pytest.raises(ValueError):
+            jaccard_to_intersection(-0.1, 10, 10)
+
+    def test_array_broadcasting(self):
+        out = minhash_intersection(np.array([0, 8, 16]), 16, 100, 100)
+        assert out.shape == (3,)
+        assert out[0] == 0.0 and out[2] == pytest.approx(100.0)
+
+
+class TestKMVEstimators:
+    def test_size_formula(self):
+        # k-1 = 31 smallest hashes below 0.031 -> about 1000 elements.
+        assert kmv_size(0.031, 32) == pytest.approx(1000, rel=0.01)
+
+    def test_size_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            kmv_size(0.5, 1)
+        with pytest.raises(ValueError):
+            kmv_size(0.0, 8)
+        with pytest.raises(ValueError):
+            kmv_size(1.5, 8)
+
+    def test_intersection_inclusion_exclusion(self):
+        assert kmv_intersection(300, 300, 400) == pytest.approx(200.0)
+        assert kmv_intersection_exact_sizes(300, 300, 400) == pytest.approx(200.0)
+
+    def test_intersection_clamped(self):
+        assert kmv_intersection(10, 10, 100) == 0.0
+
+    def test_array_broadcasting(self):
+        out = kmv_intersection(np.array([300.0, 100.0]), 300.0, 400.0)
+        assert out.shape == (2,)
+
+
+class TestEstimatorKind:
+    def test_parse_from_string(self):
+        assert EstimatorKind("AND") is EstimatorKind.BF_AND
+        assert EstimatorKind("1H") is EstimatorKind.MINHASH_1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            EstimatorKind("bogus")

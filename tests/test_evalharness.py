@@ -1,0 +1,132 @@
+"""Tests for the evaluation harness: metrics, reporting, tables, and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProbGraph
+from repro.evalharness import (
+    ComparisonRow,
+    accuracy,
+    format_csv,
+    format_series,
+    format_table,
+    measure,
+    relative_count,
+    relative_error,
+    simulated_speedup,
+    summarize_errors,
+    table4_intersection,
+    table5_construction,
+    table6_algorithms,
+    table7_tc_estimators,
+)
+
+
+class TestAccuracyMetrics:
+    def test_relative_count(self):
+        assert relative_count(110, 100) == pytest.approx(1.1)
+        assert relative_count(0, 0) == 1.0
+        assert relative_count(5, 0) == float("inf")
+
+    def test_relative_error_scalar_and_array(self):
+        assert relative_error(90, 100) == pytest.approx(0.1)
+        arr = relative_error(np.array([90.0, 120.0]), np.array([100.0, 100.0]))
+        assert np.allclose(arr, [0.1, 0.2])
+
+    def test_relative_error_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert np.isinf(relative_error(3, 0))
+
+    def test_accuracy_clipped(self):
+        assert accuracy(95, 100) == pytest.approx(0.95)
+        assert accuracy(300, 100) == 0.0
+
+    def test_summarize_errors(self):
+        errors = np.array([0.0, 0.1, 0.2, 0.3, 0.4, np.inf])
+        summary = summarize_errors(errors)
+        assert summary.count == 5  # infinite entry dropped
+        assert summary.median == pytest.approx(0.2)
+        assert summary.maximum == pytest.approx(0.4)
+        assert summary.q1 <= summary.median <= summary.q3
+
+    def test_summarize_empty(self):
+        summary = summarize_errors(np.array([]))
+        assert summary.count == 0 and summary.mean == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_csv(self):
+        rows = [{"a": 1, "b": 2.5}]
+        text = format_csv(rows)
+        assert text.splitlines()[0] == "a,b"
+        assert "2.5" in text
+
+    def test_format_series(self):
+        series = {"exact": {1: 10.0, 2: 5.0}, "pg": {1: 1.0, 2: 0.5}}
+        text = format_series(series, x_label="threads")
+        assert "threads" in text and "exact" in text and "pg" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_series_empty(self):
+        assert format_series({}) == "(no series)"
+
+
+class TestRunner:
+    def test_measure_returns_value_and_time(self):
+        result = measure(sum, [1, 2, 3], repeat=2)
+        assert result.value == 6
+        assert result.seconds >= 0
+
+    def test_measure_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            measure(sum, [1], repeat=0)
+
+    def test_simulated_speedup_greater_than_one(self, kron_small):
+        pg = ProbGraph(kron_small, "bloom", 0.25, seed=1)
+        assert simulated_speedup(kron_small, pg, num_workers=32) > 1.0
+
+    def test_comparison_row_dict(self):
+        row = ComparisonRow("tc", "g", "PG", 2.0, 30.0, 0.95, 0.2).as_dict()
+        assert row["problem"] == "tc"
+        assert row["speedup_simulated_32c"] == 30.0
+
+
+class TestPaperTables:
+    def test_table4_contains_all_schemes(self, kron_small):
+        rows = table4_intersection(kron_small, num_bits=512, k=16)
+        schemes = {row["scheme"] for row in rows}
+        assert schemes == {"CSR (merge)", "CSR (galloping)", "BF", "k-Hash", "1-Hash"}
+        bf_row = next(r for r in rows if r["scheme"] == "BF")
+        merge_row = next(r for r in rows if r["scheme"] == "CSR (merge)")
+        assert bf_row["work_ops"] < merge_row["work_ops"]
+
+    def test_table5_rows(self, kron_small):
+        rows = table5_construction(kron_small)
+        assert len(rows) == 3
+        assert all("construction_work_ops" in row for row in rows)
+
+    def test_table6_covers_algorithms_and_schemes(self, kron_small):
+        rows = table6_algorithms(kron_small)
+        assert len(rows) == 4 * 3
+        tc_exact = next(r for r in rows if r["algorithm"] == "triangle_count" and r["scheme"] == "CSR")
+        tc_bf = next(r for r in rows if r["algorithm"] == "triangle_count" and r["scheme"] == "PG (BF)")
+        assert tc_bf["work_ops"] < tc_exact["work_ops"]
+
+    def test_table7_property_matrix(self):
+        rows = table7_tc_estimators()
+        khash = next(r for r in rows if "TC_kH" in r["estimator"])
+        assert khash["ML"] and khash["AE"] and khash["bound"] == "E"
+        doulion = next(r for r in rows if r["estimator"] == "Doulion")
+        assert doulion["ML"] is False
+        assert len(rows) == 12

@@ -1,0 +1,103 @@
+"""Integration tests: every per-figure experiment runs end to end at toy scale."""
+
+import numpy as np
+import pytest
+
+from repro.evalharness.experiments import (
+    run_construction_costs,
+    run_distributed_comm,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+
+
+@pytest.mark.slow
+class TestFigureExperiments:
+    def test_fig3_rows(self):
+        rows = run_fig3(
+            graph_names=["bio-CE-PG"], storage_budgets=(0.33,), bloom_hashes=(1,), dataset_scale=0.12, max_edges=2000
+        )
+        assert len(rows) == 4  # AND, L, kH, 1H
+        for row in rows:
+            assert 0 <= row["median"] < 5
+            assert row["q1"] <= row["median"] <= row["q3"]
+
+    def test_fig3_bloom_more_accurate_than_minhash(self):
+        rows = run_fig3(
+            graph_names=["econ-beacxc"], storage_budgets=(0.33,), bloom_hashes=(1,), dataset_scale=0.12, max_edges=2000
+        )
+        by_estimator = {row["estimator"]: row["median"] for row in rows}
+        assert by_estimator["AND"] <= by_estimator["1H"] + 0.2
+
+    def test_fig4_rows_structure(self):
+        rows = run_fig4(real_graphs=["bio-SC-GT"], kronecker_scales=[8], dataset_scale=0.12)
+        schemes = {row["scheme"] for row in rows}
+        assert schemes == {"Exact", "ProbGraph (BF)", "ProbGraph (MH)"}
+        pg_rows = [r for r in rows if r["scheme"] != "Exact"]
+        assert all(r["relative_memory"] <= 0.5 for r in pg_rows)
+        assert all(r["speedup_simulated_32c"] >= 1.0 for r in pg_rows)
+
+    def test_fig5_rows(self):
+        rows = run_fig5(real_graphs=["int-antCol5-d1"], kronecker_scales=[], dataset_scale=0.06)
+        assert {row["scheme"] for row in rows} == {"Exact", "ProbGraph (BF)", "ProbGraph (MH)"}
+        assert all(row["relative_count"] >= 0 for row in rows)
+
+    def test_fig6_rows(self):
+        rows = run_fig6(graph_names=["bio-CE-PG"], dataset_scale=0.1, include_heuristics=True)
+        schemes = {row["scheme"] for row in rows}
+        assert {"Exact", "ProbGraph (BF)", "ProbGraph (MH)", "Doulion", "Colorful"} <= schemes
+        assert {"Reduced Execution", "Partial Graph Proc.", "AutoApprox1", "AutoApprox2"} <= schemes
+        pg_bf = next(r for r in rows if r["scheme"] == "ProbGraph (BF)")
+        assert 0.3 < pg_bf["relative_count"] < 3.0
+
+    def test_fig7_rows(self):
+        rows = run_fig7(graph_names=["bio-SC-GT"], dataset_scale=0.1)
+        assert {row["scheme"] for row in rows} == {"Exact", "ProbGraph (BF)", "ProbGraph (MH)"}
+        assert all(row["relative_count_clipped"] <= 10.0 for row in rows)
+
+    def test_construction_costs_rows(self):
+        rows = run_construction_costs(graph_names=["bio-CE-PG"], dataset_scale=0.1, bloom_hashes=(1, 2))
+        assert len(rows) == 4  # two BF configs + 1-Hash + k-Hash
+        assert all(row["construction_seconds"] > 0 for row in rows)
+
+    def test_distributed_comm_rows(self):
+        rows = run_distributed_comm(graph_names=["bio-CE-PG"], dataset_scale=0.1, partition_counts=(2, 4))
+        assert len(rows) == 2
+        assert all(row["reduction_factor"] > 1.0 for row in rows)
+
+
+class TestScalingExperiments:
+    def test_strong_scaling_curves(self):
+        curves = run_strong_scaling(scale=9, edge_factor=8, worker_counts=[1, 4, 16])
+        assert set(curves) == {"Exact TC", "Doulion", "Colorful", "ProbGraph (BF)", "ProbGraph (1H)"}
+        for curve in curves.values():
+            times = [curve[p] for p in (1, 4, 16)]
+            assert times[0] >= times[-1]  # more workers never slower
+
+    def test_strong_scaling_pg_wins_at_32(self):
+        curves = run_strong_scaling(scale=9, edge_factor=8, worker_counts=[32])
+        assert curves["ProbGraph (BF)"][32] < curves["Exact TC"][32]
+        assert curves["ProbGraph (1H)"][32] < curves["Exact TC"][32]
+
+    def test_weak_scaling_exact_degrades_pg_flat(self):
+        curves = run_weak_scaling(base_scale=8, worker_counts=[1, 4, 16])
+        exact = curves["Exact TC"]
+        pg = curves["ProbGraph (BF)"]
+        # Exact runtime grows (or at best stays flat) as density outpaces workers,
+        # while PG keeps improving or stays roughly flat.
+        assert exact[16] >= exact[1] * 0.5
+        assert pg[16] <= pg[1] * 1.5
+
+    def test_fig8_and_fig9_bundles(self):
+        fig8 = run_fig8(scale=9, base_scale=8, worker_counts=[1, 8])
+        assert set(fig8) == {"strong_scaling_tc", "weak_scaling_tc"}
+        fig9 = run_fig9(scale=9, base_scale=8, worker_counts=[1, 8])
+        assert set(fig9) == {"strong_scaling_clustering_cn", "weak_scaling_clustering_cn"}
+        assert all(label.startswith("ProbGraph") for label in fig9["strong_scaling_clustering_cn"])

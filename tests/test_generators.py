@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    kronecker_graph,
+    planted_clique_graph,
+    ring_graph,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz_graph,
+)
+from repro.graph.stats import degree_skewness
+
+
+class TestKronecker:
+    def test_vertex_count(self):
+        g = kronecker_graph(scale=8, edge_factor=4, seed=0)
+        assert g.num_vertices == 256
+
+    def test_deterministic(self):
+        a = kronecker_graph(scale=7, edge_factor=4, seed=5)
+        b = kronecker_graph(scale=7, edge_factor=4, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = kronecker_graph(scale=7, edge_factor=4, seed=1)
+        b = kronecker_graph(scale=7, edge_factor=4, seed=2)
+        assert a != b
+
+    def test_skewed_degrees(self):
+        g = kronecker_graph(scale=10, edge_factor=8, seed=3)
+        assert degree_skewness(g) > 1.0  # heavy right tail
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            kronecker_graph(scale=0)
+        with pytest.raises(ValueError):
+            kronecker_graph(scale=4, edge_factor=0)
+        with pytest.raises(ValueError):
+            kronecker_graph(scale=4, a=0.6, b=0.3, c=0.3)
+
+
+class TestClassicModels:
+    def test_erdos_renyi_gnp_edge_count(self):
+        g = erdos_renyi_graph(200, p=0.1, seed=1)
+        expected = 0.1 * 200 * 199 / 2
+        assert g.num_edges == pytest.approx(expected, rel=0.15)
+
+    def test_erdos_renyi_gnm_exact_edges(self):
+        g = erdos_renyi_graph(100, m=400, seed=2)
+        assert g.num_edges == 400
+
+    def test_erdos_renyi_requires_one_of_p_m(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, p=0.5, m=3)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, m=100)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, p=1.5)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert_graph(100, attach=3, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges >= 97  # at least one edge per added vertex
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, attach=5)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz_graph(60, k=4, rewire_p=0.1, seed=2)
+        assert g.num_vertices == 60
+        assert g.average_degree == pytest.approx(4.0, rel=0.15)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, k=3)
+
+    def test_stochastic_block_model_density(self):
+        g = stochastic_block_model([50, 50], p_in=0.3, p_out=0.01, seed=1)
+        membership = np.repeat([0, 1], 50)
+        edges = g.edge_array()
+        same = membership[edges[:, 0]] == membership[edges[:, 1]]
+        assert same.mean() > 0.9  # intra-community edges dominate
+        with pytest.raises(ValueError):
+            stochastic_block_model([])
+
+    def test_chung_lu_graph(self):
+        g = chung_lu_graph(300, 1500, seed=4)
+        assert g.num_vertices == 300
+        assert g.num_edges <= 1500
+        assert g.num_edges > 1000
+        assert degree_skewness(g) > 0.5
+        with pytest.raises(ValueError):
+            chung_lu_graph(1, 5)
+
+
+class TestDeterministicGraphs:
+    def test_complete_graph(self):
+        g = complete_graph(7)
+        assert g.num_edges == 21
+        assert np.all(g.degrees == 6)
+
+    def test_ring_graph(self):
+        g = ring_graph(9)
+        assert g.num_edges == 9
+        assert np.all(g.degrees == 2)
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(11)
+        assert g.degree(0) == 10
+        assert g.num_edges == 10
+        with pytest.raises(ValueError):
+            star_graph(1)
+
+    def test_grid_graph(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_planted_clique(self):
+        g = planted_clique_graph(100, clique_size=12, p=0.02, seed=3)
+        assert g.num_vertices == 100
+        # The planted clique alone contributes C(12,2)=66 edges.
+        assert g.num_edges >= 66
+        with pytest.raises(ValueError):
+            planted_clique_graph(10, clique_size=20)

@@ -1,0 +1,153 @@
+"""Unit tests for the vectorized hash families."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.hashing import (
+    HashFamily,
+    MultiplyShiftFamily,
+    hash_to_range,
+    hash_to_unit,
+    hash_u64,
+    splitmix64,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x, seed=3), splitmix64(x, seed=3))
+
+    def test_different_seeds_differ(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(splitmix64(x, seed=0), splitmix64(x, seed=1))
+
+    def test_scalar_input(self):
+        out = splitmix64(5, seed=0)
+        assert out.dtype == np.uint64
+        assert out.shape == ()
+
+    def test_accepts_signed_integers(self):
+        signed = np.arange(10, dtype=np.int64)
+        unsigned = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(splitmix64(signed), splitmix64(unsigned))
+
+    def test_no_trivial_collisions(self):
+        x = np.arange(100_000, dtype=np.uint64)
+        hashes = splitmix64(x, seed=9)
+        assert np.unique(hashes).size == x.size
+
+    def test_output_spread(self):
+        # Hash values should cover the full 64-bit range roughly uniformly:
+        # the mean of the top bit should be close to 1/2.
+        x = np.arange(50_000, dtype=np.uint64)
+        top_bit = (splitmix64(x, seed=2) >> np.uint64(63)).astype(np.float64)
+        assert abs(top_bit.mean() - 0.5) < 0.02
+
+    def test_hash_u64_alias(self):
+        x = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(hash_u64(x, 5), splitmix64(x, 5))
+
+    def test_no_overflow_warning(self):
+        with np.errstate(over="raise"):
+            # Must not raise even in the strictest error mode at the call site.
+            splitmix64(np.arange(10, dtype=np.uint64), seed=123456789)
+
+
+class TestHashToUnit:
+    def test_range(self):
+        values = hash_to_unit(np.arange(10_000), seed=1)
+        assert np.all(values > 0.0)
+        assert np.all(values <= 1.0)
+
+    def test_roughly_uniform(self):
+        values = hash_to_unit(np.arange(50_000), seed=4)
+        assert abs(values.mean() - 0.5) < 0.02
+
+    def test_deterministic(self):
+        x = np.arange(100)
+        assert np.array_equal(hash_to_unit(x, 7), hash_to_unit(x, 7))
+
+
+class TestHashToRange:
+    def test_within_modulus(self):
+        values = hash_to_range(np.arange(10_000), modulus=97, seed=1)
+        assert values.min() >= 0
+        assert values.max() < 97
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_range(np.arange(10), modulus=0)
+
+    def test_covers_buckets(self):
+        values = hash_to_range(np.arange(10_000), modulus=16, seed=2)
+        assert np.unique(values).size == 16
+
+
+class TestHashFamily:
+    def test_members_are_distinct(self):
+        fam = HashFamily(4, base_seed=10)
+        x = np.arange(100, dtype=np.uint64)
+        h0, h1 = fam.hash(x, 0), fam.hash(x, 1)
+        assert not np.array_equal(h0, h1)
+
+    def test_hash_all_shape(self):
+        fam = HashFamily(5, base_seed=0)
+        out = fam.hash_all(np.arange(33))
+        assert out.shape == (5, 33)
+
+    def test_hash_all_matches_individual(self):
+        fam = HashFamily(3, base_seed=8)
+        x = np.arange(50)
+        all_hashes = fam.hash_all(x)
+        for i in range(3):
+            assert np.array_equal(all_hashes[i], fam.hash(x, i))
+
+    def test_index_out_of_range(self):
+        fam = HashFamily(2)
+        with pytest.raises(IndexError):
+            fam.hash(np.arange(3), 2)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            HashFamily(0)
+
+    def test_hash_all_to_range(self):
+        fam = HashFamily(3, base_seed=1)
+        out = fam.hash_all_to_range(np.arange(1000), 64)
+        assert out.shape == (3, 1000)
+        assert out.max() < 64 and out.min() >= 0
+
+    def test_hash_all_to_unit(self):
+        fam = HashFamily(2, base_seed=1)
+        out = fam.hash_all_to_unit(np.arange(1000))
+        assert np.all(out > 0) and np.all(out <= 1)
+
+    def test_hash_all_to_range_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            HashFamily(2).hash_all_to_range(np.arange(3), -1)
+
+
+class TestMultiplyShiftFamily:
+    def test_output_bits(self):
+        fam = MultiplyShiftFamily(2, out_bits=16)
+        out = fam.hash(np.arange(1000), 0)
+        assert out.max() < 2**16
+
+    def test_members_differ(self):
+        fam = MultiplyShiftFamily(3, out_bits=32)
+        x = np.arange(1000)
+        assert not np.array_equal(fam.hash(x, 0), fam.hash(x, 1))
+
+    def test_hash_all(self):
+        fam = MultiplyShiftFamily(4, out_bits=20)
+        out = fam.hash_all(np.arange(10))
+        assert out.shape == (4, 10)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftFamily(0)
+        with pytest.raises(ValueError):
+            MultiplyShiftFamily(2, out_bits=64)
+        with pytest.raises(IndexError):
+            MultiplyShiftFamily(2).hash(np.arange(3), 5)

@@ -1,0 +1,58 @@
+"""Unit tests for the HyperLogLog extension sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.hll import HyperLogLog
+
+
+class TestHyperLogLog:
+    @pytest.mark.parametrize("true_size", [100, 1_000, 20_000])
+    def test_cardinality_estimates(self, true_size):
+        hll = HyperLogLog.from_set(np.arange(true_size), precision=12, seed=1)
+        assert hll.cardinality() == pytest.approx(true_size, rel=0.1)
+
+    def test_empty(self):
+        hll = HyperLogLog(precision=10)
+        assert hll.cardinality() == pytest.approx(0.0, abs=1e-6)
+
+    def test_duplicates_ignored(self):
+        a = HyperLogLog.from_set(np.arange(500), precision=12, seed=0)
+        b = HyperLogLog.from_set(np.tile(np.arange(500), 5), precision=12, seed=0)
+        assert a.cardinality() == pytest.approx(b.cardinality(), rel=1e-9)
+
+    def test_merge_is_union(self):
+        a = HyperLogLog.from_set(np.arange(0, 2000), precision=12, seed=3)
+        b = HyperLogLog.from_set(np.arange(1000, 3000), precision=12, seed=3)
+        merged = a.merge(b)
+        assert merged.cardinality() == pytest.approx(3000, rel=0.1)
+
+    def test_intersection_estimate(self):
+        a = HyperLogLog.from_set(np.arange(0, 2000), precision=13, seed=4)
+        b = HyperLogLog.from_set(np.arange(1000, 3000), precision=13, seed=4)
+        assert a.intersection_cardinality(b) == pytest.approx(1000, rel=0.4)
+
+    def test_merge_incompatible_rejected(self):
+        a = HyperLogLog(precision=10, seed=0)
+        with pytest.raises(ValueError):
+            a.merge(HyperLogLog(precision=11, seed=0))
+        with pytest.raises(TypeError):
+            a.merge("nope")
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=19)
+
+    def test_add_chaining_and_storage(self):
+        hll = HyperLogLog(precision=8)
+        assert hll.add(1).add(2) is hll
+        assert hll.storage_bits == (1 << 8) * 8
+
+    def test_registers_monotone(self):
+        hll = HyperLogLog(precision=8, seed=2)
+        hll.add_many(np.arange(100))
+        snapshot = hll.registers.copy()
+        hll.add_many(np.arange(100, 200))
+        assert np.all(hll.registers >= snapshot)

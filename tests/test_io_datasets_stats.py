@@ -1,0 +1,153 @@
+"""Unit tests for graph I/O, the dataset registry, and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    PAPER_DATASETS,
+    CSRGraph,
+    dataset_names,
+    degree_histogram,
+    degree_skewness,
+    gini_coefficient,
+    graph_stats,
+    load_dataset,
+    load_graph,
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, k6, tmp_path):
+        path = tmp_path / "graph.el"
+        write_edge_list(k6, path)
+        assert read_edge_list(path) == k6
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n% other comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestMetisIO:
+    def test_roundtrip(self, triangle_graph, tmp_path):
+        path = tmp_path / "graph.metis"
+        write_metis(triangle_graph, path)
+        assert read_metis(path) == triangle_graph
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")  # declares 3 vertices but lists 2 lines
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+
+class TestMatrixMarketIO:
+    def test_roundtrip(self, k6, tmp_path):
+        path = tmp_path / "graph.mtx"
+        write_matrix_market(k6, path)
+        assert read_matrix_market(path) == k6
+
+
+class TestLoadDispatch:
+    def test_dispatch_by_extension(self, triangle_graph, tmp_path):
+        el = tmp_path / "g.el"
+        mtx = tmp_path / "g.mtx"
+        metis = tmp_path / "g.graph"
+        write_edge_list(triangle_graph, el)
+        write_matrix_market(triangle_graph, mtx)
+        write_metis(triangle_graph, metis)
+        assert load_graph(el) == triangle_graph
+        assert load_graph(mtx) == triangle_graph
+        assert load_graph(metis) == triangle_graph
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_graph(tmp_path / "graph.weird")
+
+
+class TestDatasetRegistry:
+    def test_registry_covers_paper_table(self):
+        assert len(PAPER_DATASETS) >= 30
+        assert "bio-CE-PG" in PAPER_DATASETS
+        assert "econ-psmigr1" in PAPER_DATASETS
+
+    def test_dataset_names_filter(self):
+        bio = dataset_names("biological")
+        assert all(name.startswith("bio") for name in bio)
+        assert len(dataset_names()) == len(PAPER_DATASETS)
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("bio-SC-GT", scale=0.2, seed=1)
+        b = load_dataset("bio-SC-GT", scale=0.2, seed=1)
+        assert a == b
+
+    def test_load_dataset_density_preserved(self):
+        spec = PAPER_DATASETS["bio-CE-PG"]
+        graph = load_dataset("bio-CE-PG", scale=0.25)
+        assert graph.num_edges / graph.num_vertices == pytest.approx(spec.density, rel=0.35)
+
+    def test_load_dataset_respects_edge_cap(self):
+        graph = load_dataset("sc-pwtk", scale=0.25, max_edges=5_000)
+        assert graph.num_edges <= 5_000
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-graph")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("bio-CE-PG", scale=0.0)
+
+    def test_spec_density(self):
+        spec = PAPER_DATASETS["econ-beacxc"]
+        assert spec.density == pytest.approx(50_400 / 498)
+
+
+class TestStats:
+    def test_graph_stats_fields(self, k6):
+        stats = graph_stats(k6)
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 15
+        assert stats.max_degree == 5
+        assert stats.average_degree == pytest.approx(5.0)
+        assert stats.isolated_vertices == 0
+        assert set(stats.as_dict()) >= {"num_vertices", "density", "degree_gini"}
+
+    def test_regular_graph_has_zero_skew(self, ring10):
+        assert degree_skewness(ring10) == pytest.approx(0.0)
+        assert gini_coefficient(ring10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_graph_is_skewed(self, star20):
+        assert degree_skewness(star20) > 2.0
+        assert gini_coefficient(star20) > 0.4
+
+    def test_degree_histogram(self, star20):
+        values, counts = degree_histogram(star20)
+        assert values.tolist() == [1, 19]
+        assert counts.tolist() == [19, 1]
+
+    def test_empty_graph_stats(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=0)
+        stats = graph_stats(g)
+        assert stats.num_vertices == 0
+        assert degree_skewness(g) == 0.0
+        assert gini_coefficient(g) == 0.0

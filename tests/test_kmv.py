@@ -1,0 +1,113 @@
+"""Unit tests for KMV sketches."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi_graph
+from repro.sketches.kmv import KMVFamily, KMVSketch
+
+
+class TestKMVSketch:
+    def test_cardinality_small_set_exact(self):
+        sk = KMVSketch.from_set([5, 6, 7], k=16, seed=0)
+        assert sk.cardinality() == 3.0
+
+    def test_cardinality_large_set_estimate(self):
+        sk = KMVSketch.from_set(np.arange(5000), k=256, seed=1)
+        assert sk.cardinality() == pytest.approx(5000, rel=0.25)
+
+    def test_union_estimate(self):
+        fam = KMVFamily(256, seed=2)
+        a = fam.sketch(np.arange(0, 1000))
+        b = fam.sketch(np.arange(500, 1500))
+        assert a.union_cardinality(b) == pytest.approx(1500, rel=0.3)
+
+    def test_intersection_with_exact_sizes(self):
+        # Inclusion-exclusion on KMV unions is the noisiest estimator in the
+        # paper (§IX); with k=512 the union error is a few percent and the
+        # intersection lands within ~60% of the truth.
+        fam = KMVFamily(512, seed=3)
+        a = fam.sketch(np.arange(0, 1000))
+        b = fam.sketch(np.arange(500, 1500))
+        est = a.intersection_cardinality(b, size_self=1000, size_other=1000)
+        assert est == pytest.approx(500, rel=0.6)
+
+    def test_intersection_without_exact_sizes(self):
+        fam = KMVFamily(256, seed=4)
+        a = fam.sketch(np.arange(0, 800))
+        b = fam.sketch(np.arange(0, 800))
+        assert a.intersection_cardinality(b) == pytest.approx(800, rel=0.4)
+
+    def test_disjoint_sets_small_intersection(self):
+        fam = KMVFamily(128, seed=5)
+        a = fam.sketch(np.arange(0, 500))
+        b = fam.sketch(np.arange(10_000, 10_500))
+        est = a.intersection_cardinality(b, size_self=500, size_other=500)
+        assert est < 200
+
+    def test_values_in_unit_interval(self):
+        sk = KMVSketch.from_set(np.arange(100), k=16, seed=0)
+        filled = sk.values[sk.values <= 1.0]
+        assert filled.size == 16
+        assert np.all(filled > 0)
+
+    def test_empty_set(self):
+        sk = KMVSketch.from_set([], k=8, seed=0)
+        assert sk.cardinality() == 0.0
+        assert sk.filled() == 0
+
+    def test_incompatible_rejected(self):
+        a = KMVSketch.from_set([1], k=8, seed=0)
+        with pytest.raises(ValueError):
+            a.union_cardinality(KMVSketch.from_set([1], k=4, seed=0))
+        with pytest.raises(TypeError):
+            a.union_cardinality(object())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMVSketch(1)
+        with pytest.raises(ValueError):
+            KMVFamily(1)
+
+    def test_storage_bits(self):
+        assert KMVSketch(32).storage_bits == 32 * 64
+
+
+class TestKMVBatch:
+    def _graph(self):
+        return erdos_renyi_graph(50, p=0.2, seed=21)
+
+    def test_batch_matches_single(self):
+        graph = self._graph()
+        fam = KMVFamily(16, seed=7)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()[:10]
+        batch_est = batch.pair_intersections(edges[:, 0], edges[:, 1])
+        for i, (u, v) in enumerate(edges):
+            a = fam.sketch(graph.neighbors(int(u)))
+            b = fam.sketch(graph.neighbors(int(v)))
+            single = a.intersection_cardinality(b, size_self=graph.degree(int(u)), size_other=graph.degree(int(v)))
+            assert batch_est[i] == pytest.approx(single, abs=1e-6)
+
+    def test_batch_cardinalities(self):
+        graph = self._graph()
+        batch = KMVFamily(16, seed=7).sketch_neighborhoods(graph.indptr, graph.indices)
+        est = batch.cardinalities()
+        degs = graph.degrees.astype(np.float64)
+        # Most neighborhoods are smaller than k, so the estimates are exact there.
+        small = degs < 16
+        assert np.array_equal(est[small], degs[small])
+
+    def test_batch_nonnegative_estimates(self):
+        graph = self._graph()
+        batch = KMVFamily(8, seed=9).sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()
+        est = batch.pair_intersections(edges[:, 0], edges[:, 1])
+        assert np.all(est >= 0)
+
+    def test_storage_accounting(self):
+        graph = self._graph()
+        fam = KMVFamily(8, seed=1)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        assert batch.num_sets == graph.num_vertices
+        assert batch.total_storage_bits == graph.num_vertices * fam.bits_per_set

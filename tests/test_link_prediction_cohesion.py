@@ -1,0 +1,118 @@
+"""Tests for link prediction (Listing 5) and the triangle-derived cohesion measures."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    SimilarityMeasure,
+    candidate_pairs,
+    clustering_coefficient,
+    evaluate_link_prediction,
+    global_transitivity,
+    local_clustering_coefficients,
+    network_cohesion,
+    split_edges,
+)
+from repro.core import ProbGraph
+from repro.graph import CSRGraph, complete_graph, ring_graph, stochastic_block_model
+
+
+class TestSplitAndCandidates:
+    def test_split_sizes(self, er_graph):
+        sparse, removed = split_edges(er_graph, holdout_fraction=0.2, seed=1)
+        assert removed.shape[0] == pytest.approx(0.2 * er_graph.num_edges, abs=1)
+        assert sparse.num_edges == er_graph.num_edges - removed.shape[0]
+
+    def test_split_deterministic(self, er_graph):
+        _, removed_a = split_edges(er_graph, 0.1, seed=7)
+        _, removed_b = split_edges(er_graph, 0.1, seed=7)
+        assert np.array_equal(removed_a, removed_b)
+
+    def test_split_invalid_fraction(self, er_graph):
+        with pytest.raises(ValueError):
+            split_edges(er_graph, 0.0)
+        with pytest.raises(ValueError):
+            split_edges(er_graph, 1.0)
+
+    def test_candidates_are_non_edges_at_distance_two(self, er_graph):
+        sparse, _ = split_edges(er_graph, 0.1, seed=1)
+        pairs = candidate_pairs(sparse, max_candidates=500, seed=1)
+        assert pairs.shape[0] <= 500
+        for u, v in pairs[:50]:
+            assert not sparse.has_edge(int(u), int(v))
+            assert sparse.common_neighbors(int(u), int(v)) > 0
+
+    def test_candidates_empty_graph(self):
+        empty = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=4)
+        assert candidate_pairs(empty).shape[0] == 0
+
+
+class TestLinkPrediction:
+    def test_community_graph_beats_random(self):
+        graph = stochastic_block_model([60, 60], p_in=0.4, p_out=0.01, seed=4)
+        result = evaluate_link_prediction(graph, SimilarityMeasure.JACCARD, holdout_fraction=0.15, seed=2)
+        # In a strong community structure, common-neighbor scores recover held-out
+        # edges far better than chance (random precision would be ~1-2%).
+        assert result.precision > 0.05
+        assert 0 <= result.recall <= 1
+
+    def test_probgraph_scoring_close_to_exact(self):
+        graph = stochastic_block_model([60, 60], p_in=0.4, p_out=0.01, seed=4)
+        exact = evaluate_link_prediction(graph, SimilarityMeasure.COMMON_NEIGHBORS, 0.15, seed=2)
+        approx = evaluate_link_prediction(
+            graph,
+            SimilarityMeasure.COMMON_NEIGHBORS,
+            0.15,
+            use_probgraph=True,
+            representation="bloom",
+            storage_budget=0.33,
+            seed=2,
+        )
+        assert abs(approx.precision - exact.precision) < 0.25
+
+    def test_result_metadata(self, er_graph):
+        result = evaluate_link_prediction(er_graph, "jaccard", 0.1, seed=0)
+        assert result.measure == "jaccard"
+        assert result.num_predictions <= result.num_holdout
+        assert result.effectiveness <= result.num_predictions
+
+    def test_zero_predictions_edge_case(self):
+        # A ring has no distance-two pairs sharing a neighbor after removing edges?
+        # It does, but precision is likely 0; the call must not fail.
+        result = evaluate_link_prediction(ring_graph(20), "jaccard", 0.1, seed=1)
+        assert result.precision >= 0.0
+
+
+class TestCohesion:
+    def test_complete_graph_cohesion_is_one(self, k6):
+        assert network_cohesion(k6) == pytest.approx(1.0)
+        assert clustering_coefficient(k6) == pytest.approx(3.0)
+        assert global_transitivity(k6) == pytest.approx(1.0)
+
+    def test_triangle_free_graph(self, ring10):
+        assert network_cohesion(ring10) == 0.0
+        assert global_transitivity(ring10) == 0.0
+
+    def test_subset_cohesion(self, k10):
+        subset = np.array([0, 1, 2, 3])
+        assert network_cohesion(k10, subset=subset) == pytest.approx(1.0)
+
+    def test_subset_too_small(self, k10):
+        assert network_cohesion(k10, subset=np.array([0, 1])) == 0.0
+
+    def test_pg_cohesion_close(self, k10):
+        pg = ProbGraph(k10, "bloom", num_bits=4096, seed=1)
+        assert network_cohesion(pg) == pytest.approx(1.0, rel=0.35)
+
+    def test_local_clustering_coefficients_bounds(self, er_graph):
+        cc = local_clustering_coefficients(er_graph)
+        assert np.all((cc >= 0) & (cc <= 1))
+
+    def test_local_clustering_coefficients_complete(self, k6):
+        assert np.allclose(local_clustering_coefficients(k6), 1.0)
+
+    def test_transitivity_matches_networkx(self, er_graph):
+        import networkx as nx
+
+        expected = nx.transitivity(er_graph.to_networkx())
+        assert global_transitivity(er_graph) == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,199 @@
+"""Unit tests for the MinHash k-hash and 1-hash (bottom-k) sketches."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi_graph
+from repro.sketches.minhash import (
+    BottomKFamily,
+    BottomKSketch,
+    KHashFamily,
+    KHashSignature,
+)
+
+
+class TestKHashSignature:
+    def test_identical_sets_full_agreement(self):
+        x = np.arange(100)
+        a = KHashSignature.from_set(x, k=32, seed=1)
+        b = KHashSignature.from_set(x, k=32, seed=1)
+        assert a.matching_slots(b) == 32
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets_low_agreement(self):
+        a = KHashSignature.from_set(np.arange(0, 200), k=64, seed=2)
+        b = KHashSignature.from_set(np.arange(1000, 1200), k=64, seed=2)
+        assert a.jaccard(b) < 0.1
+
+    def test_jaccard_estimate_half_overlap(self):
+        # |X∩Y| = 200, |X∪Y| = 400  ->  J = 0.5
+        x = np.arange(0, 300)
+        y = np.arange(100, 400)
+        a = KHashSignature.from_set(x, k=256, seed=3)
+        b = KHashSignature.from_set(y, k=256, seed=3)
+        assert a.jaccard(b) == pytest.approx(0.5, abs=0.12)
+
+    def test_intersection_cardinality(self):
+        x = np.arange(0, 300)
+        y = np.arange(100, 400)
+        a = KHashSignature.from_set(x, k=256, seed=4)
+        b = KHashSignature.from_set(y, k=256, seed=4)
+        assert a.intersection_cardinality(b) == pytest.approx(200, rel=0.3)
+
+    def test_exact_size_tracked(self):
+        a = KHashSignature.from_set([1, 2, 3, 3, 2], k=8, seed=0)
+        assert a.cardinality() == 3
+
+    def test_empty_set(self):
+        a = KHashSignature.from_set([], k=8, seed=0)
+        b = KHashSignature.from_set([1, 2, 3], k=8, seed=0)
+        assert a.cardinality() == 0
+        assert a.matching_slots(b) == 0
+        assert a.intersection_cardinality(b) == 0.0
+
+    def test_incompatible_rejected(self):
+        a = KHashSignature.from_set([1], k=8, seed=0)
+        b = KHashSignature.from_set([1], k=16, seed=0)
+        c = KHashSignature.from_set([1], k=8, seed=1)
+        with pytest.raises(ValueError):
+            a.matching_slots(b)
+        with pytest.raises(ValueError):
+            a.matching_slots(c)
+        with pytest.raises(TypeError):
+            a.matching_slots(object())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KHashSignature(0)
+        with pytest.raises(ValueError):
+            KHashFamily(-3)
+
+    def test_storage_bits(self):
+        assert KHashSignature(16).storage_bits == 16 * 64
+
+
+class TestBottomKSketch:
+    def test_identical_sets(self):
+        x = np.arange(500)
+        a = BottomKSketch.from_set(x, k=64, seed=1)
+        b = BottomKSketch.from_set(x, k=64, seed=1)
+        assert a.common_values(b) == 64
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets(self):
+        a = BottomKSketch.from_set(np.arange(0, 300), k=64, seed=2)
+        b = BottomKSketch.from_set(np.arange(5000, 5300), k=64, seed=2)
+        assert a.jaccard(b) < 0.1
+
+    def test_intersection_estimate(self):
+        x = np.arange(0, 300)
+        y = np.arange(100, 400)
+        a = BottomKSketch.from_set(x, k=128, seed=5)
+        b = BottomKSketch.from_set(y, k=128, seed=5)
+        assert a.intersection_cardinality(b) == pytest.approx(200, rel=0.4)
+
+    def test_small_set_not_full(self):
+        a = BottomKSketch.from_set([3, 9, 27], k=16, seed=0)
+        assert a.filled() == 3
+        assert a.cardinality() == 3.0
+
+    def test_full_sketch_cardinality_estimate(self):
+        a = BottomKSketch.from_set(np.arange(2000), k=128, seed=7)
+        assert a.cardinality() == pytest.approx(2000, rel=0.3)
+
+    def test_values_sorted_and_distinct(self):
+        a = BottomKSketch.from_set(np.arange(1000), k=64, seed=3)
+        vals = a.values
+        assert np.all(np.diff(vals.astype(np.float64)) >= 0)
+        assert np.unique(vals).size == vals.size
+
+    def test_empty_set(self):
+        a = BottomKSketch.from_set([], k=8, seed=0)
+        b = BottomKSketch.from_set([1, 2], k=8, seed=0)
+        assert a.filled() == 0
+        assert a.cardinality() == 0.0
+        assert a.common_values(b) == 0
+
+    def test_incompatible_rejected(self):
+        a = BottomKSketch.from_set([1], k=8, seed=0)
+        with pytest.raises(ValueError):
+            a.common_values(BottomKSketch.from_set([1], k=4, seed=0))
+        with pytest.raises(TypeError):
+            a.common_values(KHashSignature.from_set([1], k=8, seed=0))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(0)
+        with pytest.raises(ValueError):
+            BottomKFamily(0)
+
+
+class TestBatchContainers:
+    def _graph(self):
+        return erdos_renyi_graph(50, p=0.2, seed=11)
+
+    @pytest.mark.parametrize("family_cls", [KHashFamily, BottomKFamily])
+    def test_batch_matches_single(self, family_cls):
+        graph = self._graph()
+        fam = family_cls(16, seed=13)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()[:15]
+        batch_est = batch.pair_intersections(edges[:, 0], edges[:, 1])
+        for i, (u, v) in enumerate(edges):
+            a = fam.sketch(graph.neighbors(int(u)))
+            b = fam.sketch(graph.neighbors(int(v)))
+            assert batch_est[i] == pytest.approx(a.intersection_cardinality(b), abs=1e-9)
+
+    @pytest.mark.parametrize("family_cls", [KHashFamily, BottomKFamily])
+    def test_batch_sketch_of_matches_family_sketch(self, family_cls):
+        graph = self._graph()
+        fam = family_cls(8, seed=3)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        for v in [0, 7, 23]:
+            single = fam.sketch(graph.neighbors(v))
+            roundtrip = batch.sketch_of(v)
+            assert roundtrip.intersection_cardinality(single) >= 0  # compatible parameters
+            if family_cls is KHashFamily:
+                assert np.array_equal(roundtrip.signature, single.signature)
+            else:
+                assert np.array_equal(roundtrip.values, single.values)
+
+    @pytest.mark.parametrize("family_cls", [KHashFamily, BottomKFamily])
+    def test_batch_cardinalities_are_exact_degrees(self, family_cls):
+        graph = self._graph()
+        batch = family_cls(8, seed=3).sketch_neighborhoods(graph.indptr, graph.indices)
+        assert np.array_equal(batch.cardinalities(), graph.degrees.astype(np.float64))
+
+    @pytest.mark.parametrize("family_cls", [KHashFamily, BottomKFamily])
+    def test_batch_jaccard_bounds(self, family_cls):
+        graph = self._graph()
+        batch = family_cls(16, seed=5).sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()
+        j = batch.pair_jaccard(edges[:, 0], edges[:, 1])
+        assert np.all(j >= 0) and np.all(j <= 1)
+
+    def test_bottomk_pair_common_chunking(self):
+        graph = self._graph()
+        batch = BottomKFamily(8, seed=5).sketch_neighborhoods(graph.indptr, graph.indices)
+        edges = graph.edge_array()
+        full = batch.pair_common(edges[:, 0], edges[:, 1])
+        chunked = batch.pair_common(edges[:, 0], edges[:, 1], chunk=7)
+        assert np.array_equal(full, chunked)
+
+    @pytest.mark.parametrize("family_cls", [KHashFamily, BottomKFamily])
+    def test_batch_accuracy_against_exact(self, family_cls):
+        graph = self._graph()
+        batch = family_cls(64, seed=17).sketch_neighborhoods(graph.indptr, graph.indices)
+        edges, exact = graph.common_neighbors_all_edges()
+        est = batch.pair_intersections(edges[:, 0], edges[:, 1])
+        mask = exact > 0
+        rel_err = np.abs(est[mask] - exact[mask]) / exact[mask]
+        assert np.median(rel_err) < 0.8
+
+    @pytest.mark.parametrize("family_cls", [KHashFamily, BottomKFamily])
+    def test_storage_accounting(self, family_cls):
+        graph = self._graph()
+        fam = family_cls(8, seed=1)
+        batch = fam.sketch_neighborhoods(graph.indptr, graph.indices)
+        assert batch.num_sets == graph.num_vertices
+        assert batch.total_storage_bits == graph.num_vertices * fam.bits_per_set

@@ -1,0 +1,189 @@
+"""Tests for the parallelism substrate: work-depth models, scheduler simulation, executor, communication model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProbGraph
+from repro.parallel import (
+    ParallelConfig,
+    Scheme,
+    WorkDepth,
+    algorithm_cost,
+    chunked_ranges,
+    communication_volume,
+    construction_cost,
+    intersection_cost,
+    intersection_costs_per_edge,
+    parallel_edge_map,
+    partition_vertices,
+    simulate_algorithm_runtime,
+    simulate_schedule,
+    simulate_strong_scaling,
+)
+
+
+class TestWorkDepth:
+    def test_table4_ordering(self, kron_small):
+        d = kron_small.average_degree
+        merge = intersection_cost(Scheme.CSR_MERGE, d, d)
+        bloom = intersection_cost(Scheme.BLOOM, d, d, num_bits=512)
+        onehash = intersection_cost(Scheme.ONEHASH, d, d, k=8)
+        assert bloom.work < merge.work
+        assert onehash.work < merge.work
+
+    def test_merge_vs_galloping(self):
+        # Galloping wins when the sizes are very different, merge when similar.
+        merge = intersection_cost(Scheme.CSR_MERGE, 10, 10_000)
+        gallop = intersection_cost(Scheme.CSR_GALLOPING, 10, 10_000)
+        assert gallop.work < merge.work
+        merge_eq = intersection_cost(Scheme.CSR_MERGE, 100, 100)
+        gallop_eq = intersection_cost(Scheme.CSR_GALLOPING, 100, 100)
+        assert merge_eq.work < gallop_eq.work
+
+    def test_pg_costs_are_uniform_per_edge(self, kron_small):
+        bloom_costs = intersection_costs_per_edge(kron_small, Scheme.BLOOM, num_bits=1024)
+        csr_costs = intersection_costs_per_edge(kron_small, Scheme.CSR_MERGE)
+        assert np.unique(bloom_costs).size == 1
+        assert np.unique(csr_costs).size > 1
+
+    def test_construction_costs_ordering(self, kron_small):
+        degrees = kron_small.degrees
+        bloom = construction_cost(Scheme.BLOOM, degrees, num_hashes=2)
+        onehash = construction_cost(Scheme.ONEHASH, degrees)
+        khash = construction_cost(Scheme.KHASH, degrees, k=16)
+        csr = construction_cost(Scheme.CSR_MERGE, degrees)
+        assert csr.work == 0
+        assert onehash.work < bloom.work < khash.work
+
+    def test_algorithm_cost_tc_advantage(self, kron_small):
+        exact = algorithm_cost("triangle_count", kron_small, Scheme.CSR_MERGE)
+        pg = algorithm_cost("triangle_count", kron_small, Scheme.BLOOM, num_bits=512)
+        assert pg.work < exact.work
+        assert pg.depth <= exact.depth + 1
+
+    def test_workdepth_composition(self):
+        a, b = WorkDepth(10, 2), WorkDepth(5, 4)
+        assert (a + b) == WorkDepth(15, 4)
+        assert a.then(b) == WorkDepth(15, 6)
+
+    def test_unknown_algorithm_rejected(self, kron_small):
+        with pytest.raises(ValueError):
+            algorithm_cost("page_rank", kron_small, Scheme.BLOOM)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            intersection_cost("quantum", 3, 3)
+
+
+class TestScheduleSimulator:
+    def test_single_worker_makespan_is_total_work(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        result = simulate_schedule(costs, 1, task_overhead=0.0)
+        assert result.makespan == pytest.approx(6.0)
+        assert result.parallel_efficiency == pytest.approx(1.0)
+
+    def test_more_workers_never_slower(self):
+        rng = np.random.default_rng(0)
+        costs = rng.exponential(10.0, size=500)
+        times = [simulate_schedule(costs, p).makespan for p in (1, 2, 4, 8, 16)]
+        assert all(t2 <= t1 + 1e-9 for t1, t2 in zip(times, times[1:]))
+
+    def test_uniform_tasks_scale_almost_ideally(self):
+        costs = np.full(3200, 5.0)
+        one = simulate_schedule(costs, 1).makespan
+        many = simulate_schedule(costs, 32).makespan
+        assert one / many == pytest.approx(32, rel=0.05)
+
+    def test_skewed_tasks_hit_imbalance(self):
+        costs = np.ones(1000)
+        costs[0] = 5000.0  # one huge neighborhood dominates
+        result = simulate_schedule(costs, 32)
+        assert result.makespan >= 5000.0
+        assert result.load_imbalance > 5.0
+
+    def test_dynamic_scheduling_beats_static_on_skew(self):
+        rng = np.random.default_rng(3)
+        costs = np.sort(rng.pareto(1.2, size=2000) * 10)[::-1].copy()
+        static = simulate_schedule(costs, 16, scheduling="static").makespan
+        dynamic = simulate_schedule(costs, 16, scheduling="dynamic").makespan
+        assert dynamic <= static + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            simulate_schedule(np.array([1.0]), 2, scheduling="magic")
+
+    def test_strong_scaling_pg_faster_than_exact(self, kron_small):
+        exact = simulate_strong_scaling(kron_small, Scheme.CSR_MERGE, [1, 32])
+        pg = simulate_strong_scaling(kron_small, Scheme.BLOOM, [1, 32], num_bits=512)
+        assert pg[32] < exact[32]
+
+    def test_runtime_includes_construction(self, kron_small):
+        without = simulate_algorithm_runtime(kron_small, Scheme.BLOOM, 4, include_construction=False)
+        with_build = simulate_algorithm_runtime(kron_small, Scheme.BLOOM, 4, include_construction=True)
+        assert with_build > without
+
+
+class TestExecutor:
+    def test_chunked_ranges_cover_everything(self):
+        ranges = chunked_ranges(103, 10)
+        assert ranges[0] == (0, 10)
+        assert ranges[-1] == (100, 103)
+        assert sum(b - a for a, b in ranges) == 103
+
+    def test_chunked_ranges_invalid(self):
+        with pytest.raises(ValueError):
+            chunked_ranges(-1, 10)
+        with pytest.raises(ValueError):
+            chunked_ranges(10, 0)
+
+    def test_parallel_edge_map_matches_serial(self, kron_small):
+        pg = ProbGraph(kron_small, "bloom", 0.25, seed=1)
+        edges = kron_small.edge_array()
+        kernel = lambda u, v: pg.pair_intersections(u, v)  # noqa: E731 - tiny test kernel
+        serial = kernel(edges[:, 0], edges[:, 1])
+        parallel = parallel_edge_map(kernel, edges[:, 0], edges[:, 1], ParallelConfig(num_workers=4, chunk_size=500))
+        assert np.allclose(serial, parallel)
+
+    def test_parallel_edge_map_empty(self):
+        out = parallel_edge_map(lambda u, v: u + v, np.empty(0), np.empty(0))
+        assert out.size == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_edge_map(lambda u, v: u, np.arange(3), np.arange(4))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+
+
+class TestDistributedModel:
+    def test_partition_balanced(self, kron_small):
+        owners = partition_vertices(kron_small, 4, seed=1)
+        counts = np.bincount(owners, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_reduction_factor_positive(self, kron_small):
+        volume = communication_volume(kron_small, 4, sketch_bits_per_vertex=512, seed=1)
+        assert volume.cut_edges > 0
+        assert volume.reduction_factor > 0
+
+    def test_smaller_sketches_reduce_more(self, kron_small):
+        small = communication_volume(kron_small, 4, sketch_bits_per_vertex=256, seed=1)
+        large = communication_volume(kron_small, 4, sketch_bits_per_vertex=4096, seed=1)
+        assert small.reduction_factor > large.reduction_factor
+
+    def test_single_partition_no_communication(self, kron_small):
+        volume = communication_volume(kron_small, 1, seed=1)
+        assert volume.cut_edges == 0
+        assert volume.csr_bytes == 0.0
+
+    def test_invalid_inputs(self, kron_small):
+        with pytest.raises(ValueError):
+            partition_vertices(kron_small, 0)
+        with pytest.raises(ValueError):
+            communication_volume(kron_small, owners=np.array([0, 1]))

@@ -1,0 +1,81 @@
+"""Public-API surface tests: exports, docstrings, and end-to-end determinism."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ProbGraph, triangle_count
+from repro.graph import kronecker_graph
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.sketches",
+    "repro.graph",
+    "repro.algorithms",
+    "repro.baselines",
+    "repro.parallel",
+    "repro.evalharness",
+    "repro.evalharness.experiments",
+]
+
+
+class TestApiSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_importable_with_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 10
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing attribute {name}"
+
+    def test_top_level_exports_documented(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert obj.__doc__, f"repro.{name} has no docstring"
+
+    def test_listing6_workflow(self):
+        """The README / Listing 6 snippet works verbatim."""
+        g = kronecker_graph(scale=8, edge_factor=6, seed=2)
+        pg = ProbGraph(g, representation="bloom", storage_budget=0.25)
+        exact = triangle_count(g)
+        approx = triangle_count(pg)
+        assert float(exact) > 0
+        assert float(approx) > 0
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_results(self):
+        g = kronecker_graph(scale=8, edge_factor=6, seed=3)
+        runs = []
+        for _ in range(2):
+            pg = ProbGraph(g, "1hash", storage_budget=0.25, seed=11)
+            runs.append(float(triangle_count(pg)))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_sketches(self):
+        g = kronecker_graph(scale=8, edge_factor=6, seed=3)
+        a = ProbGraph(g, "bloom", storage_budget=0.25, seed=1)
+        b = ProbGraph(g, "bloom", storage_budget=0.25, seed=2)
+        edges = g.edge_array()[:100]
+        est_a = a.pair_intersections(edges[:, 0], edges[:, 1])
+        est_b = b.pair_intersections(edges[:, 0], edges[:, 1])
+        assert not np.array_equal(est_a, est_b)
+
+    def test_representation_choice_does_not_mutate_graph(self):
+        g = kronecker_graph(scale=8, edge_factor=6, seed=4)
+        before = (g.indptr.copy(), g.indices.copy())
+        for representation in ("bloom", "khash", "1hash", "kmv"):
+            ProbGraph(g, representation=representation, storage_budget=0.2, seed=0)
+        assert np.array_equal(g.indptr, before[0])
+        assert np.array_equal(g.indices, before[1])

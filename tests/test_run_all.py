@@ -1,0 +1,41 @@
+"""Tests for the command-line experiment driver (repro.evalharness.run_all)."""
+
+import pytest
+
+from repro.evalharness.run_all import EXPERIMENTS, main, run_experiment
+
+
+class TestRunAll:
+    def test_registry_covers_every_paper_artifact(self):
+        assert {"tables", "fig3", "fig4", "fig5", "fig6", "fig7", "scaling", "construction", "distributed"} == set(
+            EXPERIMENTS
+        )
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig42")
+
+    def test_tables_experiment_rows(self):
+        rows = run_experiment("tables", quick=True)
+        tables = {row["table"] for row in rows}
+        assert tables == {"table4", "table5", "table6", "table7"}
+
+    def test_scaling_experiment_rows(self):
+        rows = run_experiment("scaling", quick=True)
+        panels = {row["panel"] for row in rows}
+        assert panels == {"strong", "weak"}
+        assert all(row["simulated_seconds"] > 0 for row in rows)
+
+    @pytest.mark.slow
+    def test_main_writes_csv(self, tmp_path, capsys):
+        exit_code = main(["--experiments", "tables", "distributed", "--out", str(tmp_path), "--quick"])
+        assert exit_code == 0
+        assert (tmp_path / "tables.csv").exists()
+        assert (tmp_path / "distributed.csv").exists()
+        captured = capsys.readouterr()
+        assert "=== tables ===" in captured.out
+
+    @pytest.mark.slow
+    def test_main_quick_fig6(self, capsys):
+        assert main(["--experiments", "fig6", "--quick"]) == 0
+        assert "ProbGraph (BF)" in capsys.readouterr().out

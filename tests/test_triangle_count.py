@@ -1,0 +1,113 @@
+"""Unit and integration tests for triangle counting (exact + PG-enhanced)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import local_triangle_counts, triangle_count, triangle_count_exact
+from repro.core import ProbGraph, estimate_triangles, exact_triangles_reference
+from repro.core.tc_estimators import deviation_bound
+from repro.graph import complete_graph, kronecker_graph, ring_graph
+
+
+class TestExactTriangleCount:
+    def test_single_triangle(self, triangle_graph):
+        assert int(triangle_count(triangle_graph)) == 1
+
+    def test_triangle_free_graphs(self, path_graph, ring10, grid5x5, star20):
+        for graph in (path_graph, ring10, grid5x5, star20):
+            assert int(triangle_count(graph)) == 0
+
+    @pytest.mark.parametrize("n,expected", [(4, 4), (6, 20), (10, 120)])
+    def test_complete_graphs(self, n, expected):
+        assert int(triangle_count(complete_graph(n))) == expected
+
+    def test_matches_networkx(self, kron_small):
+        expected = sum(nx.triangles(kron_small.to_networkx()).values()) // 3
+        assert int(triangle_count(kron_small)) == expected
+
+    def test_matches_edge_sum_reference(self, er_graph):
+        assert int(triangle_count(er_graph)) == exact_triangles_reference(er_graph)
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        empty = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=4)
+        assert int(triangle_count(empty)) == 0
+
+    def test_result_flags(self, k6):
+        result = triangle_count_exact(k6)
+        assert result.exact is True
+        assert "exact" in result.method
+
+    def test_rejects_unknown_input(self):
+        with pytest.raises(TypeError):
+            triangle_count("not a graph")
+
+
+class TestLocalTriangleCounts:
+    def test_complete_graph(self, k6):
+        # Every vertex of K6 is in C(5,2)=10 triangles.
+        assert np.allclose(local_triangle_counts(k6), 10.0)
+
+    def test_sum_is_three_times_tc(self, kron_small):
+        local = local_triangle_counts(kron_small)
+        assert local.sum() == pytest.approx(3 * float(triangle_count(kron_small)))
+
+    def test_triangle_free(self, ring10):
+        assert np.allclose(local_triangle_counts(ring10), 0.0)
+
+    def test_pg_local_counts_close(self, k10):
+        pg = ProbGraph(k10, "bloom", num_bits=4096, num_hashes=2, seed=1)
+        approx = local_triangle_counts(pg)
+        assert np.allclose(approx, 36.0, rtol=0.35)
+
+
+class TestProbGraphTriangleCount:
+    @pytest.mark.parametrize("representation", ["bloom", "khash", "1hash"])
+    def test_relative_count_reasonable(self, representation):
+        graph = kronecker_graph(scale=9, edge_factor=10, seed=2)
+        exact = float(triangle_count(graph))
+        pg = ProbGraph(graph, representation=representation, storage_budget=0.3, oriented=True, seed=4)
+        est = float(triangle_count(pg))
+        assert est / exact == pytest.approx(1.0, abs=0.6)
+
+    def test_oriented_and_full_paths_both_supported(self, k10):
+        exact = float(triangle_count(k10))
+        full = ProbGraph(k10, "bloom", num_bits=4096, seed=1)
+        oriented = ProbGraph(k10, "bloom", num_bits=4096, oriented=True, seed=1)
+        assert float(triangle_count(full)) == pytest.approx(exact, rel=0.4)
+        assert float(triangle_count(oriented)) == pytest.approx(exact, rel=0.4)
+
+    def test_estimate_triangles_matches_unoriented_path(self, k10):
+        pg = ProbGraph(k10, "bloom", num_bits=4096, seed=1)
+        assert float(estimate_triangles(pg)) == pytest.approx(float(triangle_count(pg)), rel=1e-9)
+
+    def test_triangle_free_estimates_are_small(self, grid5x5):
+        pg = ProbGraph(grid5x5, "bloom", num_bits=1024, num_hashes=2, seed=1)
+        assert float(triangle_count(pg)) < 5.0
+
+    def test_minhash_exact_on_identical_neighborhood_structure(self, k10):
+        # In a clique all neighborhoods of an edge's endpoints coincide except the
+        # endpoints themselves; with a large k the 1-hash estimate is near exact.
+        pg = ProbGraph(k10, "1hash", k=64, seed=3)
+        assert float(triangle_count(pg)) == pytest.approx(120, rel=0.25)
+
+    def test_deviation_bound_valid_probability(self, k10):
+        for representation in ("bloom", "1hash", "khash"):
+            pg = ProbGraph(k10, representation=representation, storage_budget=0.3, seed=1)
+            p = deviation_bound(pg, t=50.0)
+            assert 0.0 <= p <= 1.0
+
+    def test_empty_graph_estimate(self):
+        from repro.graph import CSRGraph
+
+        empty = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=3)
+        pg = ProbGraph(empty, "bloom", num_bits=64)
+        assert float(triangle_count(pg)) == 0.0
+        assert estimate_triangles(pg).estimate == 0.0
+
+    def test_ring_graph_regression(self):
+        graph = ring_graph(64)
+        pg = ProbGraph(graph, "1hash", k=8, seed=5)
+        assert float(triangle_count(pg)) < 3.0
