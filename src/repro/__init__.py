@@ -16,6 +16,16 @@ Quick start::
     exact = triangle_count(g)
     approx = triangle_count(pg)
     print(float(approx) / float(exact))
+
+For repeated query traffic, open a :class:`~repro.engine.PGSession` — it
+caches sketch construction across queries and streams batched pair queries
+through memory-bounded chunks::
+
+    from repro import PGSession
+
+    session = PGSession()
+    pg = session.probgraph(g, representation="bloom")   # built once, cached
+    ests = session.pair_intersections(pg, u, v)         # chunk-streamed
 """
 
 from .algorithms import (
@@ -30,6 +40,7 @@ from .algorithms import (
     triangle_count_exact,
 )
 from .core import EstimatorKind, ProbGraph, Representation, estimate_triangles
+from .engine import EngineConfig, PGSession
 from .graph import CSRGraph, kronecker_graph, load_dataset
 
 __version__ = "1.0.0"
@@ -40,6 +51,8 @@ __all__ = [
     "ProbGraph",
     "Representation",
     "EstimatorKind",
+    "PGSession",
+    "EngineConfig",
     "triangle_count",
     "triangle_count_exact",
     "estimate_triangles",

@@ -28,6 +28,7 @@ from ..core.estimators import (
     bf_intersection_limit,
 )
 from ..core.probgraph import ProbGraph, Representation
+from ..engine.batch import EngineConfig, iter_pair_chunks
 from ..graph.csr import CSRGraph
 from ..sketches.bloom import BloomNeighborhoodSketches
 
@@ -73,7 +74,17 @@ def four_clique_count_exact(graph: CSRGraph) -> CliqueCountResult:
     return CliqueCountResult(float(total), True, "exact-oriented")
 
 
-def _four_clique_pg_bloom(pg: ProbGraph, estimator: EstimatorKind | str | None) -> CliqueCountResult:
+def _oriented_edge_arrays(oriented: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """All oriented edges ``v → u`` as parallel (src, dst) arrays."""
+    src = np.repeat(np.arange(oriented.num_vertices, dtype=np.int64), oriented.degrees)
+    return src, oriented.indices
+
+
+def _four_clique_pg_bloom(
+    pg: ProbGraph,
+    estimator: EstimatorKind | str | None,
+    config: EngineConfig | None = None,
+) -> CliqueCountResult:
     kind = EstimatorKind(estimator) if estimator is not None else pg.estimator
     if kind not in (EstimatorKind.BF_AND, EstimatorKind.BF_LIMIT):
         kind = EstimatorKind.BF_AND
@@ -82,20 +93,22 @@ def _four_clique_pg_bloom(pg: ProbGraph, estimator: EstimatorKind | str | None) 
     oriented = pg.graph.oriented()
     indptr, indices = oriented.indptr, oriented.indices
     words = sketches.words
+    src, dst = _oriented_edge_arrays(oriented)
     total = 0.0
-    for u in range(oriented.num_vertices):
-        nu = indices[indptr[u]: indptr[u + 1]]
-        if nu.size < 2:
-            continue
-        wu = words[u]
-        for v in nu:
+    # Stream the oriented edge list through engine-sized windows; the inner
+    # candidate-set work stays per-edge (C3 differs per edge) but the
+    # enumeration is bounded and accounted like every other engine query.
+    for start, stop in iter_pair_chunks(sketches, src.shape[0], config):
+        for i in range(start, stop):
+            u, v = int(src[i]), int(dst[i])
+            nu = indices[indptr[u]: indptr[u + 1]]
             nv = indices[indptr[v]: indptr[v + 1]]
-            if nv.size == 0:
+            if nu.size < 2 or nv.size == 0:
                 continue
             c3 = np.intersect1d(nu, nv, assume_unique=True)
             if c3.size == 0:
                 continue
-            and_uv = wu & words[v]
+            and_uv = words[u] & words[v]
             triple = and_uv[None, :] & words[c3]
             ones = np.bitwise_count(triple).sum(axis=1)
             if kind is EstimatorKind.BF_AND:
@@ -106,20 +119,24 @@ def _four_clique_pg_bloom(pg: ProbGraph, estimator: EstimatorKind | str | None) 
     return CliqueCountResult(total, False, f"pg-bloom-{kind.value}")
 
 
-def _four_clique_pg_sampling(pg: ProbGraph, estimator: EstimatorKind | str | None) -> CliqueCountResult:
+def _four_clique_pg_sampling(
+    pg: ProbGraph,
+    estimator: EstimatorKind | str | None,
+    config: EngineConfig | None = None,
+) -> CliqueCountResult:
     """MinHash / KMV variant: sketch the candidate set ``C3`` on the fly."""
     oriented = pg.graph.oriented()
     indptr, indices = oriented.indptr, oriented.indices
     family = pg.family
     sketches = pg.sketches
+    src, dst = _oriented_edge_arrays(oriented)
     total = 0.0
-    for u in range(oriented.num_vertices):
-        nu = indices[indptr[u]: indptr[u + 1]]
-        if nu.size < 2:
-            continue
-        for v in nu:
+    for start, stop in iter_pair_chunks(sketches, src.shape[0], config):
+        for i in range(start, stop):
+            u, v = int(src[i]), int(dst[i])
+            nu = indices[indptr[u]: indptr[u + 1]]
             nv = indices[indptr[v]: indptr[v + 1]]
-            if nv.size == 0:
+            if nu.size < 2 or nv.size == 0:
                 continue
             c3 = np.intersect1d(nu, nv, assume_unique=True)
             if c3.size == 0:
@@ -134,13 +151,16 @@ def _four_clique_pg_sampling(pg: ProbGraph, estimator: EstimatorKind | str | Non
 
 
 def four_clique_count(
-    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+    graph: CSRGraph | ProbGraph,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> CliqueCountResult:
     """Count 4-cliques exactly (CSR input) or approximately (ProbGraph input).
 
     For ProbGraph inputs the sketches must have been built over the *oriented*
     neighborhoods (``ProbGraph(..., oriented=True)``) so that the stored
-    filters correspond to the ``N+`` sets Listing 2 intersects.
+    filters correspond to the ``N+`` sets Listing 2 intersects.  The oriented
+    edge enumeration streams through the engine's chunk windows (``config``).
     """
     if isinstance(graph, CSRGraph):
         return four_clique_count_exact(graph)
@@ -149,5 +169,5 @@ def four_clique_count(
     if not graph.oriented:
         raise ValueError("4-clique counting needs ProbGraph(..., oriented=True) sketches of N+")
     if graph.representation is Representation.BLOOM:
-        return _four_clique_pg_bloom(graph, estimator)
-    return _four_clique_pg_sampling(graph, estimator)
+        return _four_clique_pg_bloom(graph, estimator, config)
+    return _four_clique_pg_sampling(graph, estimator, config)

@@ -19,6 +19,7 @@ import scipy.sparse as sp
 
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph
+from ..engine.batch import EngineConfig
 from ..graph.csr import CSRGraph
 from .similarity import SimilarityMeasure, similarity_scores
 
@@ -68,6 +69,7 @@ def jarvis_patrick_clustering(
     measure: SimilarityMeasure | str = SimilarityMeasure.COMMON_NEIGHBORS,
     threshold: float | None = None,
     estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> ClusteringResult:
     """Cluster a graph by thresholding edge similarities (Listing 4).
 
@@ -82,6 +84,9 @@ def jarvis_patrick_clustering(
         Defaults to :func:`default_threshold` for the chosen measure.
     estimator:
         Optional override of the ProbGraph intersection estimator.
+    config:
+        Engine execution policy for the per-edge similarity batch (chunk size /
+        memory budget / threads); ProbGraph scoring streams through the engine.
     """
     measure = SimilarityMeasure(measure)
     if threshold is None:
@@ -95,7 +100,7 @@ def jarvis_patrick_clustering(
     if edges.shape[0] == 0:
         return ClusteringResult(np.arange(n, dtype=np.int64), n, edges, float(threshold), measure.value)
 
-    scores = similarity_scores(graph, edges, measure=measure, estimator=estimator)
+    scores = similarity_scores(graph, edges, measure=measure, estimator=estimator, config=config)
     kept = edges[scores > threshold]
 
     if kept.shape[0] == 0:

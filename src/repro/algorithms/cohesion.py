@@ -16,6 +16,8 @@ import numpy as np
 
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph
+from ..engine.batch import EngineConfig
+from ..engine.session import PGSession
 from ..graph.csr import CSRGraph
 from .triangle_count import local_triangle_counts, triangle_count
 
@@ -34,15 +36,25 @@ def _triples(count: int) -> float:
     return count * (count - 1) * (count - 2) / 6.0
 
 
-def _subset_view(graph: CSRGraph | ProbGraph, subset: np.ndarray | None):
-    """Return (object to count triangles on, number of vertices considered)."""
+def _subset_view(
+    graph: CSRGraph | ProbGraph,
+    subset: np.ndarray | None,
+    session: PGSession | None = None,
+):
+    """Return (object to count triangles on, number of vertices considered).
+
+    When a :class:`~repro.engine.PGSession` is supplied, the induced-subgraph
+    ProbGraph is built through the session cache, so repeated cohesion queries
+    over the same community reuse one sketch construction pass.
+    """
     base = graph.graph if isinstance(graph, ProbGraph) else graph
     if subset is None:
         return graph, base.num_vertices
     subset = np.unique(np.asarray(subset, dtype=np.int64))
     sub = base.subgraph(subset)
     if isinstance(graph, ProbGraph):
-        sub = ProbGraph(
+        factory = session.probgraph if session is not None else ProbGraph
+        sub = factory(
             sub,
             representation=graph.representation,
             storage_budget=graph.storage_budget,
@@ -60,13 +72,15 @@ def network_cohesion(
     graph: CSRGraph | ProbGraph,
     subset: np.ndarray | None = None,
     estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+    session: PGSession | None = None,
 ) -> float:
     """Cohesion ``TC[S] / C(|S|, 3)`` of the subset ``S`` (whole graph when omitted)."""
-    view, count = _subset_view(graph, subset)
+    view, count = _subset_view(graph, subset, session)
     denom = _triples(count)
     if denom == 0:
         return 0.0
-    tc = float(triangle_count(view, estimator=estimator))
+    tc = float(triangle_count(view, estimator=estimator, config=config))
     return tc / denom
 
 
@@ -74,13 +88,17 @@ def clustering_coefficient(
     graph: CSRGraph | ProbGraph,
     subset: np.ndarray | None = None,
     estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+    session: PGSession | None = None,
 ) -> float:
     """The paper's community measure ``3 · TC[S] / C(|S|, 3)``."""
-    return 3.0 * network_cohesion(graph, subset, estimator)
+    return 3.0 * network_cohesion(graph, subset, estimator, config, session)
 
 
 def global_transitivity(
-    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+    graph: CSRGraph | ProbGraph,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> float:
     """Standard global transitivity ``3 · TC / #wedges``."""
     base = graph.graph if isinstance(graph, ProbGraph) else graph
@@ -88,16 +106,18 @@ def global_transitivity(
     wedges = float(np.sum(degs * (degs - 1) / 2.0))
     if wedges == 0:
         return 0.0
-    tc = float(triangle_count(graph, estimator=estimator))
+    tc = float(triangle_count(graph, estimator=estimator, config=config))
     return min(3.0 * tc / wedges, 1.0) if tc >= 0 else 0.0
 
 
 def local_clustering_coefficients(
-    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+    graph: CSRGraph | ProbGraph,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> np.ndarray:
     """Per-vertex clustering coefficients ``2 t_v / (d_v (d_v - 1))`` (0 for degree < 2)."""
     base = graph.graph if isinstance(graph, ProbGraph) else graph
-    tri = local_triangle_counts(graph, estimator=estimator)
+    tri = local_triangle_counts(graph, estimator=estimator, config=config)
     degs = base.degrees.astype(np.float64)
     denom = degs * (degs - 1.0)
     out = np.divide(2.0 * tri, denom, out=np.zeros_like(tri), where=denom > 0)

@@ -21,6 +21,8 @@ import numpy as np
 
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph, Representation
+from ..engine.batch import EngineConfig
+from ..engine.session import PGSession
 from ..graph.csr import CSRGraph
 from .similarity import SimilarityMeasure, similarity_scores
 
@@ -99,6 +101,8 @@ def evaluate_link_prediction(
     estimator: EstimatorKind | str | None = None,
     max_candidates: int | None = 200_000,
     seed: int = 0,
+    config: EngineConfig | None = None,
+    session: PGSession | None = None,
 ) -> LinkPredictionResult:
     """Run the full Listing 5 protocol and return the effectiveness ``|E_predict ∩ E_rndm|``.
 
@@ -119,6 +123,15 @@ def evaluate_link_prediction(
         Cap on the number of distance-two candidate pairs (sampled when exceeded).
     seed:
         Controls the edge split and candidate sampling.
+    config:
+        Engine execution policy for the candidate-scoring batch; the candidate
+        list can exceed the graph size by orders of magnitude, so ProbGraph
+        scoring streams it through memory-bounded chunks.
+    session:
+        Optional :class:`~repro.engine.PGSession`; when given (and
+        ``use_probgraph`` is set) the scorer ProbGraph is obtained through the
+        session cache, so sweeps over measures/estimators on the same split
+        reuse one sketch construction pass.
     """
     measure = SimilarityMeasure(measure)
     sparse, removed = split_edges(graph, holdout_fraction, seed)
@@ -129,12 +142,14 @@ def evaluate_link_prediction(
 
     scorer: CSRGraph | ProbGraph
     if use_probgraph:
-        scorer = ProbGraph(
-            sparse, representation=representation, storage_budget=storage_budget, seed=seed, estimator=estimator
+        factory = session.probgraph if session is not None else ProbGraph
+        scorer = factory(
+            sparse, representation=representation, storage_budget=storage_budget,
+            seed=seed, estimator=estimator,
         )
     else:
         scorer = sparse
-    scores = similarity_scores(scorer, pairs, measure=measure, estimator=estimator)
+    scores = similarity_scores(scorer, pairs, measure=measure, estimator=estimator, config=config)
 
     num_predictions = min(num_holdout, pairs.shape[0])
     top = np.argsort(scores)[::-1][:num_predictions]

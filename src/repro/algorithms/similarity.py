@@ -19,9 +19,16 @@ import numpy as np
 
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph
+from ..engine.batch import EngineConfig, batched_pair_intersections
 from ..graph.csr import CSRGraph
 
-__all__ = ["SimilarityMeasure", "similarity_scores", "similarity", "CARDINALITY_MEASURES"]
+__all__ = [
+    "SimilarityMeasure",
+    "similarity_scores",
+    "similarity",
+    "jaccard_matrix_row",
+    "CARDINALITY_MEASURES",
+]
 
 
 class SimilarityMeasure(str, Enum):
@@ -56,10 +63,15 @@ def _pair_intersections(
     u: np.ndarray,
     v: np.ndarray,
     estimator: EstimatorKind | str | None,
+    config: EngineConfig | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Return (intersections, deg_u, deg_v) for the pairs, exact or estimated."""
+    """Return (intersections, deg_u, deg_v) for the pairs, exact or estimated.
+
+    ProbGraph inputs stream through the batch engine (memory-bounded chunks,
+    optional thread fan-out via ``config``).
+    """
     if isinstance(graph, ProbGraph):
-        inter = graph.pair_intersections(u, v, estimator=estimator)
+        inter = batched_pair_intersections(graph, u, v, estimator=estimator, config=config)
         degs = graph.graph.degrees
     elif isinstance(graph, CSRGraph):
         inter = graph.common_neighbors_pairs(u, v).astype(np.float64)
@@ -94,11 +106,14 @@ def similarity_scores(
     pairs: np.ndarray,
     measure: SimilarityMeasure | str = SimilarityMeasure.JACCARD,
     estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> np.ndarray:
     """Similarity of every vertex pair in ``pairs`` (shape ``(p, 2)``), vectorized.
 
-    Raises ``ValueError`` when a neighbor-identity measure (Adamic–Adar,
-    Resource Allocation) is requested on a ProbGraph.
+    ProbGraph inputs execute through the batch engine; ``config`` controls
+    chunking and optional parallelism.  Raises ``ValueError`` when a
+    neighbor-identity measure (Adamic–Adar, Resource Allocation) is requested
+    on a ProbGraph.
     """
     measure = SimilarityMeasure(measure)
     pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
@@ -111,7 +126,7 @@ def similarity_scores(
             )
         return _adamic_adar_like(graph, u, v, measure is SimilarityMeasure.RESOURCE_ALLOCATION)
 
-    inter, du, dv = _pair_intersections(graph, u, v, estimator)
+    inter, du, dv = _pair_intersections(graph, u, v, estimator, config)
     if measure is SimilarityMeasure.COMMON_NEIGHBORS:
         return inter
     if measure is SimilarityMeasure.TOTAL_NEIGHBORS:
@@ -138,3 +153,20 @@ def similarity(
 ) -> float:
     """Similarity of a single vertex pair."""
     return float(similarity_scores(graph, np.asarray([[u, v]]), measure, estimator)[0])
+
+
+def jaccard_matrix_row(
+    graph: CSRGraph | ProbGraph,
+    u: int,
+    candidates: np.ndarray,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+) -> np.ndarray:
+    """Jaccard of ``u`` against every candidate vertex — a common serving query shape.
+
+    Streams through the engine, so a single high-degree source queried against
+    millions of candidates stays within the configured memory budget.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64).ravel()
+    pairs = np.stack([np.full(candidates.shape[0], int(u), dtype=np.int64), candidates], axis=1)
+    return similarity_scores(graph, pairs, SimilarityMeasure.JACCARD, estimator, config)

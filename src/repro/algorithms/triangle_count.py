@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph
+from ..engine.batch import EngineConfig, scatter_add_pair_intersections, sum_pair_intersections
 from ..graph.csr import CSRGraph
 
 __all__ = ["TriangleCountResult", "triangle_count", "triangle_count_exact", "local_triangle_counts"]
@@ -55,41 +56,56 @@ def triangle_count_exact(graph: CSRGraph) -> TriangleCountResult:
     return TriangleCountResult(float(count), True, "exact-node-iterator")
 
 
-def _triangle_count_pg(pg: ProbGraph, estimator: EstimatorKind | str | None) -> TriangleCountResult:
+def _triangle_count_pg(
+    pg: ProbGraph,
+    estimator: EstimatorKind | str | None,
+    config: EngineConfig | None = None,
+) -> TriangleCountResult:
     if pg.oriented:
         oriented = pg.graph.oriented()
         src = np.repeat(np.arange(oriented.num_vertices, dtype=np.int64), oriented.degrees)
         dst = oriented.indices
         if src.size == 0:
             return TriangleCountResult(0.0, False, f"pg-{pg.representation.value}-oriented")
-        ests = pg.pair_intersections(src, dst, estimator=estimator)
-        return TriangleCountResult(float(np.sum(ests)), False, f"pg-{pg.representation.value}-oriented")
+        total = sum_pair_intersections(pg, src, dst, estimator=estimator, config=config)
+        return TriangleCountResult(total, False, f"pg-{pg.representation.value}-oriented")
     edges = pg.graph.edge_array()
     if edges.shape[0] == 0:
         return TriangleCountResult(0.0, False, f"pg-{pg.representation.value}")
-    ests = pg.pair_intersections(edges[:, 0], edges[:, 1], estimator=estimator)
-    return TriangleCountResult(float(np.sum(ests)) / 3.0, False, f"pg-{pg.representation.value}")
+    total = sum_pair_intersections(pg, edges[:, 0], edges[:, 1], estimator=estimator, config=config)
+    return TriangleCountResult(total / 3.0, False, f"pg-{pg.representation.value}")
 
 
 def triangle_count(
-    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+    graph: CSRGraph | ProbGraph,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> TriangleCountResult:
-    """Count triangles exactly (CSR input) or approximately (ProbGraph input)."""
+    """Count triangles exactly (CSR input) or approximately (ProbGraph input).
+
+    ProbGraph inputs execute through the batch engine: the per-edge estimates
+    are streamed and reduced in memory-bounded chunks sized by ``config``
+    (:class:`~repro.engine.EngineConfig`, defaults applied when omitted).
+    """
     if isinstance(graph, ProbGraph):
-        return _triangle_count_pg(graph, estimator)
+        return _triangle_count_pg(graph, estimator, config)
     if isinstance(graph, CSRGraph):
         return triangle_count_exact(graph)
     raise TypeError(f"expected CSRGraph or ProbGraph, got {type(graph).__name__}")
 
 
 def local_triangle_counts(
-    graph: CSRGraph | ProbGraph, estimator: EstimatorKind | str | None = None
+    graph: CSRGraph | ProbGraph,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
 ) -> np.ndarray:
     """Per-vertex triangle counts ``t_v`` (each triangle contributes to all three corners).
 
     Exactly (CSR): ``t_v = (1/2) Σ_{u ∈ N_v} |N_v ∩ N_u|``; approximately
-    (ProbGraph): the same sum with estimated intersections.  Used by the
-    clustering-coefficient and cohesion measures of §III-A.
+    (ProbGraph): the same sum with estimated intersections, accumulated through
+    the engine's streaming scatter-add so the per-directed-edge estimates are
+    never materialized at full length.  Used by the clustering-coefficient and
+    cohesion measures of §III-A.
     """
     if isinstance(graph, ProbGraph):
         base = graph.graph
@@ -97,9 +113,10 @@ def local_triangle_counts(
         dst = base.indices
         if src.size == 0:
             return np.zeros(base.num_vertices, dtype=np.float64)
-        ests = graph.pair_intersections(src, dst, estimator=estimator)
         out = np.zeros(base.num_vertices, dtype=np.float64)
-        np.add.at(out, src, ests)
+        scatter_add_pair_intersections(
+            graph, src, dst, out, src, estimator=estimator, config=config
+        )
         return out / 2.0
     if isinstance(graph, CSRGraph):
         adj = graph.adjacency_matrix()

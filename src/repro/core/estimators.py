@@ -25,6 +25,10 @@ Function                    Paper           Meaning
 
 Every function accepts scalars or NumPy arrays and broadcasts element-wise, so
 estimating ``|N_u ∩ N_v|`` for all edges of a graph is a single call.
+
+A user-facing catalogue of every :class:`EstimatorKind` — paper equation
+numbers, required inputs, and which representations support each — lives in
+``docs/estimators.md``.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ Graph-mining algorithms in :mod:`repro.algorithms` accept either a plain
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -27,7 +28,7 @@ from ..sketches.minhash import BottomKFamily, KHashFamily
 from .budget import BudgetResolution, resolve_bloom_bits, resolve_minhash_k
 from .estimators import EstimatorKind
 
-__all__ = ["Representation", "ProbGraph"]
+__all__ = ["Representation", "ProbGraph", "SketchParams", "resolve_sketch_params"]
 
 
 class Representation(str, Enum):
@@ -61,6 +62,75 @@ class Representation(str, Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Fully-resolved sketch parameters for one ``(graph, representation)`` choice.
+
+    Produced by :func:`resolve_sketch_params`, which applies the §V-A budget
+    resolution exactly as :class:`ProbGraph` does.  The :meth:`key` tuple is
+    canonical — two parametrizations that resolve to the same concrete sketch
+    family yield equal keys — which is what the engine's
+    :class:`~repro.engine.PGSession` uses to deduplicate construction passes.
+    """
+
+    representation: Representation
+    default_estimator: EstimatorKind
+    num_bits: int | None = None
+    num_hashes: int | None = None
+    k: int | None = None
+    resolution: BudgetResolution | None = None
+
+    def key(self) -> tuple:
+        """Hashable canonical identity of the concrete sketch family."""
+        return (self.representation.value, self.num_bits, self.num_hashes, self.k)
+
+    def make_family(self, seed: int):
+        """Instantiate the concrete :class:`~repro.sketches.base.SketchFamily`."""
+        if self.representation is Representation.BLOOM:
+            return BloomFamily(self.num_bits, self.num_hashes, seed)
+        if self.representation is Representation.KHASH:
+            return KHashFamily(self.k, seed)
+        if self.representation is Representation.ONEHASH:
+            return BottomKFamily(self.k, seed)
+        return KMVFamily(self.k, seed)
+
+
+def resolve_sketch_params(
+    graph: CSRGraph,
+    representation: Representation | str = Representation.BLOOM,
+    storage_budget: float = 0.25,
+    num_hashes: int = 2,
+    num_bits: int | None = None,
+    k: int | None = None,
+) -> SketchParams:
+    """Resolve the generic budget knob ``s`` into concrete sketch parameters (§V-A).
+
+    This is the single source of truth shared by :class:`ProbGraph` and the
+    engine session cache: explicit ``num_bits`` / ``k`` win over the budget,
+    otherwise the §V-A resolvers pick them from the graph's size.
+    """
+    representation = Representation.parse(representation)
+    resolution: BudgetResolution | None = None
+    if representation is Representation.BLOOM:
+        if num_bits is None:
+            resolution = resolve_bloom_bits(graph, float(storage_budget))
+            num_bits = resolution.bits_per_vertex
+        return SketchParams(
+            representation, EstimatorKind.BF_AND, int(num_bits), int(num_hashes), None, resolution
+        )
+    if k is None:
+        resolution = resolve_minhash_k(graph, float(storage_budget))
+        k = resolution.bits_per_vertex // 64
+        if representation is Representation.KMV:
+            k = max(k, 2)
+    default = {
+        Representation.KHASH: EstimatorKind.MINHASH_K,
+        Representation.ONEHASH: EstimatorKind.MINHASH_1,
+        Representation.KMV: EstimatorKind.KMV,
+    }[representation]
+    return SketchParams(representation, default, None, None, int(k), resolution)
 
 
 class ProbGraph:
@@ -111,42 +181,18 @@ class ProbGraph:
         self.seed = int(seed)
         self._base = graph.oriented() if oriented else graph
 
-        resolution: BudgetResolution | None = None
-        if self.representation is Representation.BLOOM:
-            if num_bits is None:
-                resolution = resolve_bloom_bits(graph, self.storage_budget)
-                num_bits = resolution.bits_per_vertex
-            family = BloomFamily(num_bits, self.num_hashes, self.seed)
-            default_estimator = EstimatorKind.BF_AND
-        elif self.representation is Representation.KHASH:
-            if k is None:
-                resolution = resolve_minhash_k(graph, self.storage_budget)
-                k = resolution.bits_per_vertex // 64
-            family = KHashFamily(k, self.seed)
-            default_estimator = EstimatorKind.MINHASH_K
-        elif self.representation is Representation.ONEHASH:
-            if k is None:
-                resolution = resolve_minhash_k(graph, self.storage_budget)
-                k = resolution.bits_per_vertex // 64
-            family = BottomKFamily(k, self.seed)
-            default_estimator = EstimatorKind.MINHASH_1
-        elif self.representation is Representation.KMV:
-            if k is None:
-                resolution = resolve_minhash_k(graph, self.storage_budget)
-                k = max(resolution.bits_per_vertex // 64, 2)
-            family = KMVFamily(k, self.seed)
-            default_estimator = EstimatorKind.KMV
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unknown representation {representation!r}")
-
-        self.family = family
-        self.num_bits = int(num_bits) if num_bits is not None else None
-        self.k = int(k) if k is not None else None
-        self.estimator = EstimatorKind(estimator) if estimator is not None else default_estimator
-        self.budget_resolution = resolution
+        params = resolve_sketch_params(
+            graph, self.representation, self.storage_budget, self.num_hashes, num_bits, k
+        )
+        self.sketch_params = params
+        self.family = params.make_family(self.seed)
+        self.num_bits = params.num_bits
+        self.k = params.k
+        self.estimator = EstimatorKind(estimator) if estimator is not None else params.default_estimator
+        self.budget_resolution = params.resolution
 
         start = time.perf_counter()
-        self.sketches = family.sketch_neighborhoods(self._base.indptr, self._base.indices)
+        self.sketches = self.family.sketch_neighborhoods(self._base.indptr, self._base.indices)
         self.construction_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------ sizes
@@ -189,6 +235,25 @@ class ProbGraph:
             return self.sketches.pair_intersections(u, v, estimator=kind)
         return self.sketches.pair_intersections(u, v)
 
+    def pair_intersections_chunked(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        max_chunk_pairs: int,
+        estimator: EstimatorKind | str | None = None,
+    ) -> np.ndarray:
+        """Chunk-contract variant of :meth:`pair_intersections` (bit-identical).
+
+        Delegates to
+        :meth:`repro.sketches.base.NeighborhoodSketches.pair_intersections_chunked`,
+        resolving the estimator kwarg exactly like :meth:`pair_intersections`.
+        The batch engine's sequential path runs through here.
+        """
+        kind = EstimatorKind(estimator) if estimator is not None else self.estimator
+        if isinstance(self.sketches, BloomNeighborhoodSketches):
+            return self.sketches.pair_intersections_chunked(u, v, max_chunk_pairs, estimator=kind)
+        return self.sketches.pair_intersections_chunked(u, v, max_chunk_pairs)
+
     def jaccard(self, u: int, v: int, estimator: EstimatorKind | str | None = None) -> float:
         """Approximate Jaccard similarity of ``N_u`` and ``N_v`` (Listing 6, lines 13–15)."""
         inter = self.int_card(u, v, estimator=estimator)
@@ -208,6 +273,17 @@ class ProbGraph:
         return self._base.common_neighbors(u, v)
 
     # ------------------------------------------------------------------ misc
+    def cache_key(self) -> tuple:
+        """Hashable identity of this sketch set: graph structure + resolved params.
+
+        Two ProbGraphs with equal cache keys hold bit-identical sketches (the
+        whole construction is deterministic given the seed), so engine sessions
+        may serve one in place of the other.  The default ``estimator`` is
+        deliberately *not* part of the key: it only selects a query-time
+        formula and does not affect the stored sketches.
+        """
+        return (self.graph.fingerprint(), self.sketch_params.key(), self.oriented, self.seed)
+
     def describe(self) -> dict:
         """A small summary dict used by the experiment harness and examples."""
         params: dict[str, object] = {

@@ -11,13 +11,14 @@ Theorem VII.1 transfer from the per-edge estimators.  Note this estimator sums
 over *full* neighborhoods — the degree-ordered formulation of Listing 1 is the
 algorithmic variant used for the performance comparison and lives in
 :mod:`repro.algorithms.triangle_count`.
+
+A catalogue of every estimator (paper equation numbers, inputs, and supported
+representations) lives in ``docs/estimators.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
 
 from ..graph.csr import CSRGraph
 from .bounds import (
@@ -51,12 +52,17 @@ def exact_triangles_reference(graph: CSRGraph) -> int:
 
 
 def estimate_triangles(pg: ProbGraph, estimator: EstimatorKind | str | None = None) -> TriangleCountEstimate:
-    """``TC^⋆`` — sum the estimated ``|N_u ∩ N_v|`` over all edges and divide by 3."""
+    """``TC^⋆`` — sum the estimated ``|N_u ∩ N_v|`` over all edges and divide by 3.
+
+    The edge sum executes through the batch engine's streaming reduction, so
+    the per-edge estimates are never materialized at full length.
+    """
+    from ..engine.batch import sum_pair_intersections
+
     edges = pg.graph.edge_array()
     if edges.shape[0] == 0:
         return TriangleCountEstimate(0.0, str(estimator or pg.estimator), pg.representation.value, 0)
-    ests = pg.pair_intersections(edges[:, 0], edges[:, 1], estimator=estimator)
-    total = float(np.sum(ests)) / 3.0
+    total = sum_pair_intersections(pg, edges[:, 0], edges[:, 1], estimator=estimator) / 3.0
     kind = EstimatorKind(estimator) if estimator is not None else pg.estimator
     return TriangleCountEstimate(total, kind.value, pg.representation.value, edges.shape[0])
 

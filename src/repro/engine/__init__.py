@@ -1,0 +1,51 @@
+"""Batched sketch-query engine: session caching + memory-bounded streaming.
+
+This package is the execution layer between the sketch containers
+(:mod:`repro.sketches`) and the graph-mining algorithms
+(:mod:`repro.algorithms`):
+
+* :class:`PGSession` caches built sketch sets keyed by
+  ``(graph fingerprint, resolved params, oriented, seed)`` so repeated queries
+  and multi-algorithm runs reuse one construction pass;
+* :func:`batched_pair_intersections` / :func:`batched_pair_jaccard` /
+  :func:`sum_pair_intersections` / :func:`scatter_add_pair_intersections`
+  stream arbitrary-length pair lists through fixed-size, memory-bounded chunks
+  (optionally fanned out over the :mod:`repro.parallel` thread pool);
+* :func:`engine_stats` exposes process-wide activity counters so the engine
+  path is observable.
+
+All PG-enhanced pair loops in :mod:`repro.algorithms` route through here; see
+``docs/architecture.md``.
+"""
+
+from .batch import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    EngineConfig,
+    EngineStats,
+    batched_pair_intersections,
+    batched_pair_jaccard,
+    engine_stats,
+    iter_pair_chunks,
+    reset_engine_stats,
+    resolve_chunk_pairs,
+    scatter_add_pair_intersections,
+    sum_pair_intersections,
+)
+from .session import PGSession, SessionStats, default_session
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "EngineConfig",
+    "EngineStats",
+    "PGSession",
+    "SessionStats",
+    "default_session",
+    "engine_stats",
+    "reset_engine_stats",
+    "resolve_chunk_pairs",
+    "iter_pair_chunks",
+    "batched_pair_intersections",
+    "batched_pair_jaccard",
+    "sum_pair_intersections",
+    "scatter_add_pair_intersections",
+]

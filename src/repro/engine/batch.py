@@ -1,0 +1,279 @@
+"""Memory-bounded batched sketch queries — the engine's streaming execution core.
+
+The PG-enhanced algorithms all reduce to one primitive: evaluate the estimated
+``|N_u ∩ N_v|`` for a (possibly huge) list of vertex pairs.  Before the engine
+existed, each algorithm materialized the full per-pair work in one monolithic
+NumPy call, which makes peak memory proportional to the number of pairs — for
+edge-parallel kernels that is ``O(m)`` scratch on top of the sketches, and for
+link prediction it can be far larger than the graph itself.
+
+This module streams arbitrary-length pair lists through fixed-size chunks
+instead:
+
+* the chunk size is either given explicitly (``max_chunk_pairs``) or derived
+  from a byte budget via the sketch container's per-pair scratch estimate
+  (:attr:`~repro.sketches.base.NeighborhoodSketches.pair_scratch_bytes`);
+* chunked execution is *bit-identical* to the unchunked call — every estimator
+  is a pure element-wise function of the two gathered sketch rows;
+* an optional :class:`~repro.parallel.executor.ParallelConfig` fans the chunks
+  out over the thread pool of :func:`repro.parallel.executor.parallel_edge_map`
+  (NumPy releases the GIL inside the large array ops);
+* module-level :class:`EngineStats` counters record every query/chunk/pair so
+  tests and benchmarks can assert that an algorithm actually executed through
+  the engine path.
+
+See ``docs/architecture.md`` for the full caching/chunking contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimators import EstimatorKind
+from ..core.probgraph import ProbGraph
+from ..parallel.executor import ParallelConfig, chunked_ranges, parallel_edge_map
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "EngineConfig",
+    "EngineStats",
+    "engine_stats",
+    "reset_engine_stats",
+    "resolve_chunk_pairs",
+    "iter_pair_chunks",
+    "batched_pair_intersections",
+    "batched_pair_jaccard",
+    "sum_pair_intersections",
+    "scatter_add_pair_intersections",
+]
+
+#: Default cap on the extra (non-sketch) memory one batched query may allocate.
+#: 64 MiB keeps even the widest Bloom rows at several hundred thousand pairs
+#: per chunk while staying negligible next to the graph itself.
+DEFAULT_MEMORY_BUDGET_BYTES = 64 << 20
+
+#: Never stream in chunks smaller than this unless explicitly asked to —
+#: NumPy dispatch overhead dominates below a few thousand pairs.
+_MIN_AUTO_CHUNK_PAIRS = 4096
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy for one batched query (chunking + optional threading).
+
+    Parameters
+    ----------
+    max_chunk_pairs:
+        Explicit chunk size.  ``None`` (default) derives it from
+        ``memory_budget_bytes`` and the sketch container's per-pair scratch
+        estimate.
+    memory_budget_bytes:
+        Cap on the temporary memory a single batched query may allocate
+        (ignored when ``max_chunk_pairs`` is given).
+    parallel:
+        Optional thread fan-out; chunks become the work units of
+        :func:`repro.parallel.executor.parallel_edge_map`.
+    """
+
+    max_chunk_pairs: int | None = None
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES
+    parallel: ParallelConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_chunk_pairs is not None and self.max_chunk_pairs < 1:
+            raise ValueError("max_chunk_pairs must be at least 1")
+        if self.memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be positive")
+
+
+@dataclass
+class EngineStats:
+    """Mutable counters describing the engine's activity (mostly for tests/benchmarks)."""
+
+    queries: int = 0
+    chunks: int = 0
+    pairs: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy (the module-level instance keeps mutating)."""
+        return EngineStats(self.queries, self.chunks, self.pairs)
+
+
+_STATS = EngineStats()
+
+
+def engine_stats() -> EngineStats:
+    """The process-wide engine activity counters (shared by all sessions)."""
+    return _STATS
+
+
+def reset_engine_stats() -> None:
+    """Zero the process-wide counters (test isolation helper)."""
+    _STATS.queries = 0
+    _STATS.chunks = 0
+    _STATS.pairs = 0
+
+
+def resolve_chunk_pairs(sketches, config: EngineConfig | None = None) -> int:
+    """Pick the streaming chunk size for a query against ``sketches``.
+
+    Explicit ``max_chunk_pairs`` wins; otherwise the memory budget is divided
+    by the container's per-pair scratch estimate, floored at a minimum that
+    keeps NumPy dispatch overhead negligible.
+    """
+    config = config or EngineConfig()
+    if config.max_chunk_pairs is not None:
+        return config.max_chunk_pairs
+    per_pair = max(int(getattr(sketches, "pair_scratch_bytes", 64)), 1)
+    return max(config.memory_budget_bytes // per_pair, _MIN_AUTO_CHUNK_PAIRS)
+
+
+def _as_pair_arrays(u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if u.shape != v.shape:
+        raise ValueError("u and v must have the same shape")
+    return u, v
+
+
+def iter_pair_chunks(sketches, total: int, config: EngineConfig | None = None):
+    """Yield ``(start, stop)`` windows for streaming ``total`` pairs, with accounting.
+
+    This is the engine's edge-enumeration contract: algorithms whose inner work
+    cannot be expressed as one ``pair_intersections`` call (4-clique counting
+    derives a candidate set per edge) still stream their pair lists through
+    engine-sized windows and show up in :func:`engine_stats`.
+    """
+    chunk = resolve_chunk_pairs(sketches, config)
+    _STATS.queries += 1
+    _STATS.pairs += int(total)
+    for start, stop in chunked_ranges(int(total), chunk):
+        _STATS.chunks += 1
+        yield start, stop
+
+
+def batched_pair_intersections(
+    pg: ProbGraph,
+    u: np.ndarray,
+    v: np.ndarray,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+) -> np.ndarray:
+    """Estimate ``|N_u ∩ N_v|`` for every pair, streamed through bounded chunks.
+
+    Bit-identical to ``pg.pair_intersections(u, v, estimator=...)`` for any
+    chunk size; peak extra memory is bounded by roughly
+    ``chunk * sketches.pair_scratch_bytes`` (plus the output array).
+    """
+    config = config or EngineConfig()
+    u, v = _as_pair_arrays(u, v)
+    total = u.shape[0]
+    _STATS.queries += 1
+    _STATS.pairs += total
+    if total == 0:
+        return np.empty(0, dtype=np.float64)
+    chunk = resolve_chunk_pairs(pg.sketches, config)
+    _STATS.chunks += len(chunked_ranges(total, chunk))
+    if config.parallel is not None and config.parallel.num_workers > 1:
+        kernel = lambda uc, vc: pg.pair_intersections(uc, vc, estimator=estimator)  # noqa: E731
+        pool = ParallelConfig(config.parallel.num_workers, chunk)
+        return np.asarray(parallel_edge_map(kernel, u, v, pool), dtype=np.float64)
+    # Sequential streaming is the sketch container's own chunk contract.
+    return pg.pair_intersections_chunked(u, v, chunk, estimator=estimator)
+
+
+def batched_pair_jaccard(
+    pg: ProbGraph,
+    u: np.ndarray,
+    v: np.ndarray,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+) -> np.ndarray:
+    """Approximate Jaccard ``|N_u∩N_v| / |N_u∪N_v|`` per pair, chunk-streamed.
+
+    Matches :meth:`repro.core.ProbGraph.jaccard` element-wise (same degrees of
+    the sketched base — oriented ``N+`` when the ProbGraph is oriented).
+    """
+    config = config or EngineConfig()
+    u, v = _as_pair_arrays(u, v)
+    total = u.shape[0]
+    if total == 0:
+        _STATS.queries += 1
+        return np.empty(0, dtype=np.float64)
+    inter = batched_pair_intersections(pg, u, v, estimator=estimator, config=config)
+    degrees = pg._base.degrees.astype(np.float64)
+    union = degrees[u] + degrees[v] - inter
+    out = np.divide(inter, union, out=np.zeros_like(inter), where=union > 0)
+    return np.clip(out, 0.0, 1.0)
+
+
+def sum_pair_intersections(
+    pg: ProbGraph,
+    u: np.ndarray,
+    v: np.ndarray,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+) -> float:
+    """``Σ |N_u ∩ N_v|`` over all pairs with a streaming reduction.
+
+    Unlike :func:`batched_pair_intersections`, the per-pair estimates are never
+    materialized at full length — each chunk is reduced to a scalar as it is
+    produced, so memory stays bounded even for the input pair arrays' worth of
+    work.  This is the kernel of the edge-sum triangle-count estimators (§VII).
+    """
+    config = config or EngineConfig()
+    u, v = _as_pair_arrays(u, v)
+    total = u.shape[0]
+    _STATS.queries += 1
+    _STATS.pairs += total
+    if total == 0:
+        return 0.0
+    chunk = resolve_chunk_pairs(pg.sketches, config)
+    if config.parallel is not None and config.parallel.num_workers > 1:
+        # Reduce inside the worker so only one scalar per chunk crosses threads.
+        kernel = lambda uc, vc: np.asarray(  # noqa: E731
+            [pg.pair_intersections(uc, vc, estimator=estimator).sum()]
+        )
+        _STATS.chunks += len(chunked_ranges(total, chunk))
+        pool = ParallelConfig(config.parallel.num_workers, chunk)
+        return float(parallel_edge_map(kernel, u, v, pool).sum())
+    acc = 0.0
+    for start, stop in chunked_ranges(total, chunk):
+        _STATS.chunks += 1
+        acc += float(pg.pair_intersections(u[start:stop], v[start:stop], estimator=estimator).sum())
+    return acc
+
+
+def scatter_add_pair_intersections(
+    pg: ProbGraph,
+    u: np.ndarray,
+    v: np.ndarray,
+    out: np.ndarray,
+    index: np.ndarray,
+    estimator: EstimatorKind | str | None = None,
+    config: EngineConfig | None = None,
+) -> np.ndarray:
+    """Accumulate per-pair estimates into ``out[index]`` chunk by chunk.
+
+    Streaming equivalent of ``np.add.at(out, index, pair_intersections(u, v))``
+    without materializing the full estimate array — the kernel of per-vertex
+    triangle counts.  Always sequential: concurrent ``np.add.at`` into a shared
+    output is not atomic, and the accumulate step is a small fraction of the
+    estimator work.
+    """
+    config = config or EngineConfig()
+    u, v = _as_pair_arrays(u, v)
+    index = np.asarray(index, dtype=np.int64).ravel()
+    if index.shape != u.shape:
+        raise ValueError("index must have the same shape as u and v")
+    total = u.shape[0]
+    _STATS.queries += 1
+    _STATS.pairs += total
+    chunk = resolve_chunk_pairs(pg.sketches, config)
+    for start, stop in chunked_ranges(total, chunk):
+        _STATS.chunks += 1
+        ests = pg.pair_intersections(u[start:stop], v[start:stop], estimator=estimator)
+        np.add.at(out, index[start:stop], ests)
+    return out

@@ -1,0 +1,198 @@
+"""`PGSession` — sketch-set caching across queries, algorithms, and experiments.
+
+Building the per-vertex sketches is the expensive part of ProbGraph (Table V:
+``O(b·m)`` hash evaluations for Bloom filters, sorting for bottom-k/KMV).  The
+seed code rebuilt them from scratch on every :class:`~repro.core.ProbGraph`
+construction, even when the same graph was queried repeatedly with the same
+parameters — the common shape of production query traffic, and of the
+evaluation harness itself (the Bloom AND and L estimators share one sketch
+set; only the query-time formula differs).
+
+A :class:`PGSession` keys built sketch sets by
+
+``(graph fingerprint, resolved sketch params, oriented, seed)``
+
+where the fingerprint is :meth:`repro.graph.CSRGraph.fingerprint` (structural
+digest) and the params come from :func:`repro.core.probgraph.resolve_sketch_params`
+(so ``storage_budget=0.25`` and the explicit ``num_bits`` it resolves to hit
+the *same* entry).  Entries are kept in a bounded LRU; a construction counter
+makes cache behaviour observable and testable.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimators import EstimatorKind
+from ..core.probgraph import ProbGraph, Representation, resolve_sketch_params
+from ..graph.csr import CSRGraph
+from .batch import (
+    EngineConfig,
+    batched_pair_intersections,
+    batched_pair_jaccard,
+    sum_pair_intersections,
+)
+
+__all__ = ["PGSession", "SessionStats", "default_session"]
+
+
+@dataclass
+class SessionStats:
+    """Observable cache behaviour of one :class:`PGSession`."""
+
+    constructions: int = 0
+    cache_hits: int = 0
+    evictions: int = 0
+
+
+class PGSession:
+    """A reusable query session: cached sketch construction + bounded batch queries.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity (number of distinct sketch sets kept alive).  Each entry
+        holds a full :class:`~repro.core.ProbGraph`; with the default ``s=25%``
+        budget that is roughly a quarter of the CSR size per entry.
+    config:
+        Default :class:`~repro.engine.EngineConfig` applied to queries issued
+        through this session (chunk sizing, memory budget, thread fan-out).
+
+    Example
+    -------
+    >>> session = PGSession()
+    >>> pg = session.probgraph(g, representation="bloom", storage_budget=0.25)
+    >>> ests = session.pair_intersections(pg, u, v)          # chunk-streamed
+    >>> pg2 = session.probgraph(g, representation="bloom", storage_budget=0.25)
+    >>> pg2 is pg                                            # warm cache: no rebuild
+    True
+    """
+
+    def __init__(self, max_entries: int = 8, config: EngineConfig | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self.config = config or EngineConfig()
+        self.stats = SessionStats()
+        self._cache: OrderedDict[tuple, ProbGraph] = OrderedDict()
+
+    # ------------------------------------------------------------ construction
+    def probgraph(
+        self,
+        graph: CSRGraph,
+        representation: Representation | str = Representation.BLOOM,
+        storage_budget: float = 0.25,
+        num_hashes: int = 2,
+        num_bits: int | None = None,
+        k: int | None = None,
+        oriented: bool = False,
+        seed: int = 0,
+        estimator: EstimatorKind | str | None = None,
+    ) -> ProbGraph:
+        """Build-or-reuse a :class:`~repro.core.ProbGraph` for ``graph``.
+
+        A cache hit returns the previously built object itself — no sketch
+        reconstruction happens (observable through ``stats.constructions``).
+        The requested ``estimator`` only selects the query-time default formula
+        and is *not* part of the cache key; when a hit requests a different
+        default than the cached object carries, a shallow view sharing the same
+        sketches is returned with the requested default applied (still no
+        reconstruction).
+        """
+        params = resolve_sketch_params(
+            graph, representation, storage_budget, num_hashes, num_bits, k
+        )
+        key = (graph.fingerprint(), params.key(), bool(oriented), int(seed))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            wanted = EstimatorKind(estimator) if estimator is not None else params.default_estimator
+            if wanted != cached.estimator:
+                view = copy.copy(cached)  # shares graph, family, and sketches
+                view.estimator = wanted
+                return view
+            return cached
+        pg = ProbGraph(
+            graph,
+            representation=params.representation,
+            storage_budget=storage_budget,
+            num_hashes=num_hashes,
+            num_bits=params.num_bits,
+            k=params.k,
+            oriented=oriented,
+            seed=seed,
+            estimator=estimator,
+        )
+        self.stats.constructions += 1
+        self._cache[key] = pg
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return pg
+
+    def cached(self, pg: ProbGraph) -> bool:
+        """Whether ``pg``'s sketch set currently lives in this session's cache."""
+        return pg.cache_key() in self._cache
+
+    def clear(self) -> None:
+        """Drop every cached sketch set (stats are kept)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ----------------------------------------------------------------- queries
+    def pair_intersections(
+        self,
+        pg: ProbGraph,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+        config: EngineConfig | None = None,
+    ) -> np.ndarray:
+        """Batched ``|N_u ∩ N_v|`` estimates, streamed under this session's config."""
+        return batched_pair_intersections(pg, u, v, estimator=estimator, config=config or self.config)
+
+    def pair_jaccard(
+        self,
+        pg: ProbGraph,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+        config: EngineConfig | None = None,
+    ) -> np.ndarray:
+        """Batched approximate Jaccard similarities, streamed under this session's config."""
+        return batched_pair_jaccard(pg, u, v, estimator=estimator, config=config or self.config)
+
+    def sum_pair_intersections(
+        self,
+        pg: ProbGraph,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+        config: EngineConfig | None = None,
+    ) -> float:
+        """Streaming ``Σ |N_u ∩ N_v|`` reduction (never materializes all estimates)."""
+        return sum_pair_intersections(pg, u, v, estimator=estimator, config=config or self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PGSession(entries={len(self._cache)}/{self.max_entries}, "
+            f"constructions={self.stats.constructions}, cache_hits={self.stats.cache_hits})"
+        )
+
+
+_DEFAULT_SESSION: PGSession | None = None
+
+
+def default_session() -> PGSession:
+    """The process-wide session used when callers do not manage their own."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = PGSession()
+    return _DEFAULT_SESSION

@@ -13,6 +13,7 @@ import numpy as np
 
 from ...core.estimators import EstimatorKind
 from ...core.probgraph import ProbGraph, Representation
+from ...engine import PGSession, batched_pair_intersections
 from ...graph.datasets import load_dataset
 from ..accuracy import relative_error, summarize_errors
 
@@ -30,21 +31,28 @@ def intersection_error_summary(
     num_hashes: int,
     seed: int = 0,
     max_edges: int | None = 20_000,
+    session: PGSession | None = None,
 ) -> dict:
-    """Boxplot statistics of per-edge relative errors for one (graph, estimator, s, b) cell."""
+    """Boxplot statistics of per-edge relative errors for one (graph, estimator, s, b) cell.
+
+    When a :class:`~repro.engine.PGSession` is supplied, the sketch set is
+    built through the session cache — the Bloom AND and L estimator rows (and
+    any repeated ``(s, b)`` cells) then share one construction pass.
+    """
     edges, exact = graph.common_neighbors_all_edges()
     if max_edges is not None and edges.shape[0] > max_edges:
         rng = np.random.default_rng(seed)
         idx = rng.choice(edges.shape[0], size=max_edges, replace=False)
         edges, exact = edges[idx], exact[idx]
-    pg = ProbGraph(
+    factory = session.probgraph if session is not None else ProbGraph
+    pg = factory(
         graph,
         representation=representation,
         storage_budget=storage_budget,
         num_hashes=num_hashes,
         seed=seed,
     )
-    estimates = pg.pair_intersections(edges[:, 0], edges[:, 1], estimator=estimator)
+    estimates = batched_pair_intersections(pg, edges[:, 0], edges[:, 1], estimator=estimator)
     # Fig. 3 measures the relative difference only on pairs with a non-empty
     # exact intersection (the relative error is undefined otherwise).
     mask = exact > 0
@@ -76,6 +84,9 @@ def run_fig3(
         (Representation.KHASH, EstimatorKind.MINHASH_K),
         (Representation.ONEHASH, EstimatorKind.MINHASH_1),
     ]
+    # One session per run: the AND and L rows of each (graph, s, b) cell share
+    # a single Bloom construction pass instead of rebuilding identical sketches.
+    session = PGSession(max_entries=len(configs) * len(storage_budgets) * len(bloom_hashes))
     for name in graph_names:
         graph = load_dataset(name, scale=dataset_scale, seed=seed)
         for s in storage_budgets:
@@ -85,7 +96,8 @@ def run_fig3(
                     if representation is not Representation.BLOOM and b != bloom_hashes[0]:
                         continue
                     summary = intersection_error_summary(
-                        graph, representation, estimator, s, b, seed=seed, max_edges=max_edges
+                        graph, representation, estimator, s, b, seed=seed,
+                        max_edges=max_edges, session=session,
                     )
                     rows.append({"graph": name, **summary})
     return rows

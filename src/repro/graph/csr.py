@@ -21,6 +21,7 @@ NumPy/SciPy equivalent of the paper's tuned vectorized C++ baselines.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 import numpy as np
@@ -35,7 +36,7 @@ WORD_BITS = 64
 class CSRGraph:
     """An undirected simple graph in CSR format with sorted neighborhoods."""
 
-    __slots__ = ("num_vertices", "indptr", "indices", "_adj_cache")
+    __slots__ = ("num_vertices", "indptr", "indices", "_adj_cache", "_fingerprint")
 
     def __init__(self, num_vertices: int, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.num_vertices = int(num_vertices)
@@ -46,6 +47,7 @@ class CSRGraph:
         if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
             raise ValueError("indptr must start at 0 and end at len(indices)")
         self._adj_cache: sp.csr_matrix | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -137,6 +139,23 @@ class CSRGraph:
         nbrs = self.neighbors(u)
         pos = np.searchsorted(nbrs, v)
         return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def fingerprint(self) -> str:
+        """Stable structural digest of the adjacency, used as a sketch-cache key.
+
+        Two :class:`CSRGraph` objects with identical ``(n, indptr, indices)``
+        produce the same fingerprint, so engine sessions
+        (:class:`repro.engine.PGSession`) can reuse sketch sets across distinct
+        Python objects holding the same graph.  The digest is computed once and
+        cached; CSR graphs are immutable by construction.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha1()
+            h.update(str(self.num_vertices).encode())
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def edge_array(self) -> np.ndarray:
         """All undirected edges as an ``(m, 2)`` array with ``u < v`` in every row."""

@@ -93,9 +93,57 @@ class NeighborhoodSketches(abc.ABC):
     operation of Listings 1–5.
     """
 
+    #: Fallback per-pair scratch-memory estimate (bytes) used for chunk sizing
+    #: when a subclass does not override :attr:`pair_scratch_bytes`.
+    _DEFAULT_PAIR_SCRATCH_BYTES = 64
+
     @abc.abstractmethod
     def pair_intersections(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Estimate ``|N_u ∩ N_v|`` element-wise for vertex arrays ``u``, ``v``."""
+
+    @property
+    def pair_scratch_bytes(self) -> int:
+        """Estimated peak temporary bytes *per pair* of one ``pair_intersections`` call.
+
+        The batch-query engine divides its memory budget by this number to pick
+        ``max_chunk_pairs`` (the chunk contract below).  Subclasses override it
+        with a representation-specific estimate (gathered rows, masks, partial
+        reductions); the base default is deliberately conservative for sketches
+        that do not report one.
+        """
+        return self._DEFAULT_PAIR_SCRATCH_BYTES
+
+    def pair_intersections_chunked(
+        self, u: np.ndarray, v: np.ndarray, max_chunk_pairs: int, **kwargs
+    ) -> np.ndarray:
+        """Chunk contract: evaluate ``pair_intersections`` in fixed-size slices.
+
+        Streams the pair list through ``max_chunk_pairs``-sized windows so peak
+        extra memory is bounded by roughly ``max_chunk_pairs *
+        pair_scratch_bytes`` regardless of how many pairs are queried.  Results
+        are bit-identical to a single unchunked call: every estimator here is a
+        pure element-wise function of the two gathered sketch rows, so slicing
+        the inputs cannot change any output value.
+
+        Extra keyword arguments (e.g. the Bloom ``estimator=``) are forwarded
+        verbatim to every underlying :meth:`pair_intersections` call.
+        """
+        if max_chunk_pairs < 1:
+            raise ValueError("max_chunk_pairs must be at least 1")
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        total = u.shape[0]
+        if total == 0:
+            return np.empty(0, dtype=np.float64)
+        if total <= max_chunk_pairs:
+            return np.asarray(self.pair_intersections(u, v, **kwargs), dtype=np.float64)
+        out = np.empty(total, dtype=np.float64)
+        for start in range(0, total, max_chunk_pairs):
+            stop = min(start + max_chunk_pairs, total)
+            out[start:stop] = self.pair_intersections(u[start:stop], v[start:stop], **kwargs)
+        return out
 
     @abc.abstractmethod
     def cardinalities(self) -> np.ndarray:

@@ -36,6 +36,11 @@ __all__ = ["BloomFilter", "BloomFamily", "BloomNeighborhoodSketches"]
 
 _WORD_BITS = 64
 
+#: Cap on the per-filter record of inserted elements used to deduplicate
+#: ``_exact_size`` across calls.  Beyond it the record is dropped so the sketch
+#: stays sublinear in the set size, at the cost of cross-call deduplication.
+_SEEN_CAP = 1 << 20
+
 
 def _words_for_bits(num_bits: int) -> int:
     return (num_bits + _WORD_BITS - 1) // _WORD_BITS
@@ -60,7 +65,7 @@ class BloomFilter(SetSketch):
         built with identical ``(num_bits, num_hashes, seed)``.
     """
 
-    __slots__ = ("num_bits", "num_hashes", "seed", "words", "_exact_size")
+    __slots__ = ("num_bits", "num_hashes", "seed", "words", "_exact_size", "_seen")
 
     def __init__(self, num_bits: int, num_hashes: int = 2, seed: int = 0) -> None:
         if num_bits <= 0:
@@ -72,10 +77,24 @@ class BloomFilter(SetSketch):
         self.seed = int(seed)
         self.words = np.zeros(_words_for_bits(num_bits), dtype=np.uint64)
         self._exact_size = 0
+        # Elements inserted so far, kept so that repeated insertions are not
+        # double-counted in ``_exact_size`` (which feeds the OR estimator's
+        # default sizes).  ``None`` means the element identities are unknown
+        # (filter materialized from a batch container via ``sketch_of``); in
+        # that case cross-call duplicates cannot be detected.
+        self._seen: set[int] | None = set()
 
     # -- construction -----------------------------------------------------
     def add_many(self, elements: Iterable[int] | np.ndarray) -> "BloomFilter":
-        """Insert all ``elements`` (vectorized); returns ``self`` for chaining."""
+        """Insert all ``elements`` (vectorized); returns ``self`` for chaining.
+
+        ``_exact_size`` counts *distinct* elements across all ``add`` /
+        ``add_many`` calls, so re-inserting an element never inflates the
+        tracked size (it is idempotent on the bit vector anyway).  The element
+        record backing this is capped at ``_SEEN_CAP`` entries to keep the
+        sketch sublinear in the set size; past the cap (or after
+        ``sketch_of``), deduplication degrades to within-call only.
+        """
         arr = as_id_array(elements)
         if arr.size == 0:
             return self
@@ -84,7 +103,16 @@ class BloomFilter(SetSketch):
         word_idx = positions // _WORD_BITS
         masks = np.uint64(1) << (positions % _WORD_BITS).astype(np.uint64)
         np.bitwise_or.at(self.words, word_idx, masks)
-        self._exact_size += int(np.unique(arr).size)
+        fresh = np.unique(arr)
+        if self._seen is None:
+            # Element identities are unknown (materialized from a batch
+            # container, or past the cap); within-call deduplication only.
+            self._exact_size += int(fresh.size)
+        else:
+            self._seen.update(fresh.tolist())
+            self._exact_size = len(self._seen)
+            if len(self._seen) > _SEEN_CAP:
+                self._seen = None
         return self
 
     def add(self, element: int) -> "BloomFilter":
@@ -225,6 +253,12 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
         ones = _popcount_rows(self.words)
         return np.asarray(bf_size_swamidass(ones, self.num_bits, self.num_hashes), dtype=np.float64)
 
+    @property
+    def pair_scratch_bytes(self) -> int:
+        """Per-pair scratch: two gathered word rows, their AND, and the popcount row."""
+        words_per_set = int(self.words.shape[1]) if self.words.ndim == 2 else 1
+        return (3 * words_per_set + 2) * 8
+
     def pair_ones_and(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """``B_{N_u ∩ N_v, 1}`` for every pair — AND then popcount."""
         u = np.asarray(u, dtype=np.int64)
@@ -265,6 +299,7 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
         bf = BloomFilter(self.num_bits, self.num_hashes, self.seed)
         bf.words = self.words[int(v)].copy()
         bf._exact_size = int(self.exact_sizes[int(v)])
+        bf._seen = None  # element identities are not stored in the batch container
         return bf
 
 

@@ -121,6 +121,11 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
             out[full] = (self.k - 1) / kth[full]
         return out
 
+    @property
+    def pair_scratch_bytes(self) -> int:
+        """Per-pair scratch: the merged row (sorted twice) plus the duplicate mask."""
+        return 2 * self.k * (8 + 1) + 48
+
     def pair_union_estimates(self, u: np.ndarray, v: np.ndarray, chunk: int = 65536) -> np.ndarray:
         """``|N_u ∪ N_v|^K`` for every pair (k smallest values of the merged rows)."""
         u = np.asarray(u, dtype=np.int64)

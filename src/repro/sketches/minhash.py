@@ -127,6 +127,11 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
     def cardinalities(self) -> np.ndarray:
         return self.exact_sizes.copy()
 
+    @property
+    def pair_scratch_bytes(self) -> int:
+        """Per-pair scratch: two gathered signatures plus the agreement mask."""
+        return 2 * self.k * 8 + 2 * self.k + 24
+
     def pair_matches(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Agreeing-slot counts for every (u, v) pair."""
         u = np.asarray(u, dtype=np.int64)
@@ -309,6 +314,11 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
 
     def cardinalities(self) -> np.ndarray:
         return self.exact_sizes.copy()
+
+    @property
+    def pair_scratch_bytes(self) -> int:
+        """Per-pair scratch: the merged sorted row, boolean masks, and the rank cumsum."""
+        return 2 * self.k * (8 + 8 + 3) + 32
 
     def pair_common(self, u: np.ndarray, v: np.ndarray, chunk: int = 65536) -> np.ndarray:
         """``|M¹_{N_u} ∩ M¹_{N_v}|`` for every pair, vectorized.

@@ -117,6 +117,25 @@ class TestBloomFilter:
         bf = BloomFilter(128, 1)
         assert bf.add(1).add(2) is bf
 
+    def test_exact_size_deduplicates_across_calls(self):
+        """Duplicates across successive add_many/add calls must not be double-counted."""
+        bf = BloomFilter(1024, 2)
+        bf.add_many([1, 2, 3])
+        bf.add_many([2, 3, 4])
+        bf.add(4)
+        bf.add(5)
+        assert bf._exact_size == 5  # {1, 2, 3, 4, 5}
+
+    def test_exact_size_drives_or_estimator_defaults(self):
+        """The OR estimator's default sizes come from the tracked insertion counts."""
+        fam = BloomFamily(2048, 2, seed=9)
+        a = fam.sketch(np.arange(40))
+        b = BloomFilter(2048, 2, seed=9)
+        b.add_many(np.arange(20, 60))
+        b.add_many(np.arange(20, 60))  # re-insertion must not skew |Y|
+        est = a.intersection_cardinality(b, estimator="OR")
+        assert est == pytest.approx(20, rel=0.5)
+
 
 class TestBloomFamilyBatch:
     def _graph(self):

@@ -1,0 +1,357 @@
+"""Tests for the batch-query engine: chunked equivalence, session caching, routing.
+
+The acceptance bar for the engine is strict:
+
+* chunked / parallel streaming must be **bit-identical** to the direct
+  ``ProbGraph.pair_intersections`` call for every representation;
+* a warm-cache ``PGSession.probgraph`` call must perform **no** sketch
+  reconstruction (asserted through the construction counter and object
+  identity);
+* every PG-enhanced algorithm module must execute through the engine path
+  (asserted through the process-wide engine counters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    evaluate_link_prediction,
+    four_clique_count,
+    jarvis_patrick_clustering,
+    local_clustering_coefficients,
+    similarity_scores,
+    triangle_count,
+)
+from repro.algorithms.cohesion import network_cohesion
+from repro.algorithms.similarity import jaccard_matrix_row
+from repro.core import ProbGraph, estimate_triangles
+from repro.engine import (
+    EngineConfig,
+    PGSession,
+    batched_pair_intersections,
+    batched_pair_jaccard,
+    default_session,
+    engine_stats,
+    reset_engine_stats,
+    resolve_chunk_pairs,
+    scatter_add_pair_intersections,
+    sum_pair_intersections,
+)
+from repro.graph import CSRGraph, kronecker_graph
+from repro.parallel import ParallelConfig
+
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv"]
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return kronecker_graph(scale=8, edge_factor=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def pair_arrays(graph):
+    rng = np.random.default_rng(99)
+    u = rng.integers(0, graph.num_vertices, size=1500)
+    v = rng.integers(0, graph.num_vertices, size=1500)
+    return u.astype(np.int64), v.astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# chunked == unchunked, bit-identical, all four representations
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+@pytest.mark.parametrize("chunk", [1, 7, 64, 10_000])
+def test_chunked_equals_unchunked_bit_identical(graph, pair_arrays, representation, chunk):
+    pg = ProbGraph(graph, representation=representation, storage_budget=0.25, seed=3)
+    u, v = pair_arrays
+    direct = pg.pair_intersections(u, v)
+    chunked = batched_pair_intersections(pg, u, v, config=EngineConfig(max_chunk_pairs=chunk))
+    assert chunked.dtype == np.float64
+    assert np.array_equal(direct, chunked)
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_parallel_fanout_bit_identical(graph, pair_arrays, representation):
+    pg = ProbGraph(graph, representation=representation, storage_budget=0.25, seed=3)
+    u, v = pair_arrays
+    direct = pg.pair_intersections(u, v)
+    config = EngineConfig(max_chunk_pairs=128, parallel=ParallelConfig(num_workers=4))
+    assert np.array_equal(direct, batched_pair_intersections(pg, u, v, config=config))
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_sketch_container_chunk_contract(graph, pair_arrays, representation):
+    """The NeighborhoodSketches-level contract matches its own unchunked call."""
+    pg = ProbGraph(graph, representation=representation, storage_budget=0.25, seed=3)
+    u, v = pair_arrays
+    direct = np.asarray(pg.sketches.pair_intersections(u, v), dtype=np.float64)
+    chunked = pg.sketches.pair_intersections_chunked(u, v, max_chunk_pairs=13)
+    assert np.array_equal(direct, chunked)
+
+
+_PROP_GRAPH = kronecker_graph(scale=7, edge_factor=5, seed=23)
+_PROP_PGS = {
+    rep: ProbGraph(_PROP_GRAPH, representation=rep, storage_budget=0.3, seed=5)
+    for rep in REPRESENTATIONS
+}
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(0, _PROP_GRAPH.num_vertices - 1),
+            st.integers(0, _PROP_GRAPH.num_vertices - 1),
+        ),
+        min_size=0,
+        max_size=300,
+    ),
+    chunk=st.integers(min_value=1, max_value=400),
+    representation=st.sampled_from(REPRESENTATIONS),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_chunking_is_bit_identical(pairs, chunk, representation):
+    """Property-style: any pair list and any chunk size give bit-identical results."""
+    pg = _PROP_PGS[representation]
+    arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    u, v = arr[:, 0], arr[:, 1]
+    direct = np.asarray(pg.pair_intersections(u, v), dtype=np.float64)
+    chunked = batched_pair_intersections(pg, u, v, config=EngineConfig(max_chunk_pairs=chunk))
+    assert np.array_equal(direct, chunked)
+
+
+def test_bloom_estimator_kwarg_forwarded(graph, pair_arrays):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3)
+    u, v = pair_arrays
+    for kind in ["AND", "L", "OR"]:
+        direct = pg.pair_intersections(u, v, estimator=kind)
+        chunked = batched_pair_intersections(
+            pg, u, v, estimator=kind, config=EngineConfig(max_chunk_pairs=11)
+        )
+        assert np.array_equal(direct, chunked), kind
+
+
+def test_sum_and_scatter_match_materialized(graph, pair_arrays):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3)
+    u, v = pair_arrays
+    direct = pg.pair_intersections(u, v)
+    cfg = EngineConfig(max_chunk_pairs=37)
+    assert sum_pair_intersections(pg, u, v, config=cfg) == pytest.approx(float(direct.sum()))
+    par = EngineConfig(max_chunk_pairs=37, parallel=ParallelConfig(num_workers=3))
+    assert sum_pair_intersections(pg, u, v, config=par) == pytest.approx(float(direct.sum()))
+    out = np.zeros(graph.num_vertices)
+    scatter_add_pair_intersections(pg, u, v, out, u, config=cfg)
+    expect = np.zeros(graph.num_vertices)
+    np.add.at(expect, u, direct)
+    np.testing.assert_allclose(out, expect)
+
+
+def test_batched_jaccard_matches_scalar(graph):
+    pg = ProbGraph(graph, representation="1hash", storage_budget=0.25, seed=3)
+    rng = np.random.default_rng(5)
+    u = rng.integers(0, graph.num_vertices, size=50).astype(np.int64)
+    v = rng.integers(0, graph.num_vertices, size=50).astype(np.int64)
+    batch = batched_pair_jaccard(pg, u, v, config=EngineConfig(max_chunk_pairs=9))
+    scalars = np.array([pg.jaccard(int(a), int(b)) for a, b in zip(u, v)])
+    np.testing.assert_allclose(batch, scalars)
+
+
+def test_empty_pair_list(graph):
+    pg = ProbGraph(graph, representation="bloom", seed=3)
+    empty = np.empty(0, dtype=np.int64)
+    assert batched_pair_intersections(pg, empty, empty).shape == (0,)
+    assert sum_pair_intersections(pg, empty, empty) == 0.0
+
+
+def test_chunk_resolution_respects_memory_budget(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3)
+    per_pair = pg.sketches.pair_scratch_bytes
+    assert per_pair > 0
+    chunk = resolve_chunk_pairs(pg.sketches, EngineConfig(memory_budget_bytes=per_pair * 100_000))
+    assert chunk * per_pair <= per_pair * 100_000
+    # Explicit max_chunk_pairs always wins.
+    assert resolve_chunk_pairs(pg.sketches, EngineConfig(max_chunk_pairs=5)) == 5
+
+
+# ---------------------------------------------------------------------------
+# session caching
+# ---------------------------------------------------------------------------
+def test_warm_cache_returns_same_object_without_rebuild(graph):
+    session = PGSession()
+    pg1 = session.probgraph(graph, representation="bloom", storage_budget=0.25, seed=7)
+    assert session.stats.constructions == 1
+    pg2 = session.probgraph(graph, representation="bloom", storage_budget=0.25, seed=7)
+    assert pg2 is pg1
+    assert session.stats.constructions == 1  # no sketch reconstruction
+    assert session.stats.cache_hits == 1
+
+
+def test_budget_and_explicit_params_share_one_entry(graph):
+    session = PGSession()
+    pg = session.probgraph(graph, representation="bloom", storage_budget=0.25, seed=7)
+    explicit = session.probgraph(graph, representation="bloom", num_bits=pg.num_bits, seed=7)
+    assert explicit is pg
+    assert session.stats.constructions == 1
+
+
+def test_equal_structure_different_objects_hit_cache(graph):
+    clone = CSRGraph(graph.num_vertices, graph.indptr.copy(), graph.indices.copy())
+    assert clone.fingerprint() == graph.fingerprint()
+    session = PGSession()
+    pg1 = session.probgraph(graph, representation="kmv", seed=1)
+    pg2 = session.probgraph(clone, representation="kmv", seed=1)
+    assert pg2 is pg1
+
+
+def test_cache_key_distinguishes_params(graph):
+    session = PGSession(max_entries=16)
+    base = session.probgraph(graph, representation="bloom", seed=0)
+    for kwargs in [
+        {"representation": "bloom", "seed": 1},
+        {"representation": "bloom", "oriented": True},
+        {"representation": "bloom", "num_hashes": 4},
+        {"representation": "khash"},
+        {"representation": "1hash"},
+    ]:
+        assert session.probgraph(graph, **kwargs) is not base
+    assert session.stats.constructions == 6
+
+
+def test_lru_eviction(graph):
+    session = PGSession(max_entries=2)
+    pg_a = session.probgraph(graph, representation="bloom", seed=0)
+    session.probgraph(graph, representation="bloom", seed=1)
+    session.probgraph(graph, representation="bloom", seed=2)  # evicts seed=0
+    assert len(session) == 2
+    assert session.stats.evictions == 1
+    rebuilt = session.probgraph(graph, representation="bloom", seed=0)
+    assert rebuilt is not pg_a
+    assert session.stats.constructions == 4
+
+
+def test_default_session_is_singleton():
+    assert default_session() is default_session()
+
+
+def test_estimator_not_part_of_cache_key(graph):
+    session = PGSession()
+    pg_and = session.probgraph(graph, representation="bloom", estimator="AND", seed=2)
+    pg_l = session.probgraph(graph, representation="bloom", estimator="L", seed=2)
+    # The sketches are shared (no rebuild), but the returned view carries the
+    # requested default estimator rather than the first builder's.
+    assert pg_l.sketches is pg_and.sketches
+    assert pg_and.estimator.value == "AND" and pg_l.estimator.value == "L"
+    assert session.stats.constructions == 1
+    assert session.stats.cache_hits == 1
+
+
+def test_session_subset_respects_parent_estimator(graph):
+    """Regression: a warm session must not leak another ProbGraph's default estimator."""
+    subset = np.arange(60)
+    pg_and = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3, estimator="AND")
+    pg_l = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3, estimator="L")
+    session = PGSession()
+    assert network_cohesion(pg_and, subset=subset, session=session) == pytest.approx(
+        network_cohesion(pg_and, subset=subset)
+    )
+    assert network_cohesion(pg_l, subset=subset, session=session) == pytest.approx(
+        network_cohesion(pg_l, subset=subset)
+    )
+    assert session.stats.constructions == 1  # second call reused the sketches
+
+
+# ---------------------------------------------------------------------------
+# all six algorithm modules execute through the engine path
+# ---------------------------------------------------------------------------
+def _assert_engine_ran(fn):
+    reset_engine_stats()
+    before = engine_stats().snapshot()
+    fn()
+    after = engine_stats()
+    assert after.queries > before.queries, "algorithm did not execute through the engine"
+    assert after.pairs >= before.pairs
+
+
+def test_algorithms_route_through_engine(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3)
+    pg_oriented = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3, oriented=True)
+    rng = np.random.default_rng(2)
+    pairs = rng.integers(0, graph.num_vertices, size=(64, 2)).astype(np.int64)
+
+    _assert_engine_ran(lambda: triangle_count(pg))  # triangle_count.py
+    _assert_engine_ran(lambda: local_clustering_coefficients(pg))  # cohesion.py (+ tc)
+    _assert_engine_ran(lambda: similarity_scores(pg, pairs, measure="jaccard"))  # similarity.py
+    _assert_engine_ran(lambda: jarvis_patrick_clustering(pg, measure="jaccard"))  # clustering.py
+    _assert_engine_ran(lambda: four_clique_count(pg_oriented))  # clique_count.py
+    _assert_engine_ran(
+        lambda: evaluate_link_prediction(
+            graph, use_probgraph=True, max_candidates=2000, seed=4
+        )
+    )  # link_prediction.py
+    _assert_engine_ran(lambda: estimate_triangles(pg))  # core tc estimator
+
+
+def test_chunked_algorithms_match_unchunked(graph):
+    """Tiny chunks must not change any algorithm output."""
+    tiny = EngineConfig(max_chunk_pairs=13)
+    for rep in REPRESENTATIONS:
+        pg = ProbGraph(graph, representation=rep, storage_budget=0.25, seed=3)
+        assert float(triangle_count(pg, config=tiny)) == pytest.approx(float(triangle_count(pg)))
+        np.testing.assert_allclose(
+            local_clustering_coefficients(pg, config=tiny),
+            local_clustering_coefficients(pg),
+        )
+        default_clusters = jarvis_patrick_clustering(pg, measure="jaccard")
+        tiny_clusters = jarvis_patrick_clustering(pg, measure="jaccard", config=tiny)
+        assert np.array_equal(default_clusters.labels, tiny_clusters.labels)
+
+
+def test_four_clique_chunked_matches_unchunked(k10_engine=None):
+    from repro.graph import complete_graph
+
+    g = complete_graph(10)
+    for rep in ["bloom", "1hash"]:
+        pg = ProbGraph(g, representation=rep, storage_budget=0.5, seed=1, oriented=True)
+        full = float(four_clique_count(pg))
+        tiny = float(four_clique_count(pg, config=EngineConfig(max_chunk_pairs=3)))
+        assert tiny == pytest.approx(full)
+
+
+def test_cohesion_subset_through_session(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3)
+    subset = np.arange(40)
+    session = PGSession()
+    first = network_cohesion(pg, subset=subset, session=session)
+    second = network_cohesion(pg, subset=subset, session=session)
+    assert first == pytest.approx(second)
+    assert session.stats.constructions == 1
+    assert session.stats.cache_hits == 1
+
+
+def test_jaccard_matrix_row_matches_pairwise(graph):
+    pg = ProbGraph(graph, representation="khash", storage_budget=0.25, seed=3)
+    candidates = np.arange(1, 60, dtype=np.int64)
+    row = jaccard_matrix_row(pg, 0, candidates, config=EngineConfig(max_chunk_pairs=8))
+    pairs = np.stack([np.zeros_like(candidates), candidates], axis=1)
+    np.testing.assert_allclose(row, similarity_scores(pg, pairs, measure="jaccard"))
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+def test_engine_config_validation():
+    with pytest.raises(ValueError):
+        EngineConfig(max_chunk_pairs=0)
+    with pytest.raises(ValueError):
+        EngineConfig(memory_budget_bytes=0)
+    with pytest.raises(ValueError):
+        PGSession(max_entries=0)
+
+
+def test_mismatched_pair_shapes_raise(graph):
+    pg = ProbGraph(graph, representation="bloom", seed=3)
+    with pytest.raises(ValueError):
+        batched_pair_intersections(pg, np.arange(3), np.arange(4))
