@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Streaming triangle counting over an evolving graph with incremental sketches.
+
+The scenario the dynamic-graph subsystem exists for: edges arrive in batches,
+and after every batch the application wants an up-to-date approximate triangle
+count.  Rebuilding the per-vertex sketches from scratch per batch costs a full
+construction pass; instead, a `DynamicGraph` emits a `GraphDelta` per batch and
+`PGSession.apply_delta` patches only the touched sketch rows of the cached
+sketch set — bit-identical to a fresh build, at a fraction of the cost.
+
+Run with:  python examples/streaming_tc.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DynamicGraph, EdgeStream, PGSession, ProbGraph, triangle_count
+from repro.graph import kronecker_graph
+
+
+def main() -> None:
+    # The full graph whose edges will arrive as a stream.
+    full = kronecker_graph(scale=11, edge_factor=8, seed=1)
+    edges = full.edge_array()
+    rng = np.random.default_rng(7)
+    edges = edges[rng.permutation(edges.shape[0])]
+    warmup = edges.shape[0] // 5
+    print(f"stream: n={full.num_vertices}, {edges.shape[0]} edges, {warmup} pre-loaded")
+
+    # Bootstrap: dynamic graph + session-cached sketches over the first 20%.
+    # Sketches are fixed-size, so provision them for the *expected final* scale
+    # (a 25% budget at the full edge count), not for the tiny warm-up graph —
+    # exactly how a capacity plan would size them in production.
+    from repro.core.probgraph import resolve_sketch_params
+
+    num_bits = resolve_sketch_params(full, "bloom", storage_budget=0.25).num_bits
+    dyn = DynamicGraph(num_vertices=full.num_vertices)
+    dyn.apply_edges(insertions=edges[:warmup])
+    session = PGSession()
+    pg = session.probgraph(
+        dyn.snapshot(), representation="bloom", num_bits=num_bits, oriented=True, seed=3
+    )
+    params = dict(
+        representation="bloom", num_bits=pg.num_bits, num_hashes=pg.num_hashes,
+        oriented=True, seed=3,
+    )
+
+    # Stream the rest in 1k-edge batches; patch instead of rebuilding.  The
+    # sketches are *oriented* (Listing 1 intersects N+), so each patch also
+    # recomputes the degree-order orientation and resketches the rows whose
+    # N+ changed -- still bit-identical to a cold rebuild.
+    stream = EdgeStream.insert_only(edges[warmup:], batch_size=1000)
+    patch_seconds = 0.0
+    for i, batch in enumerate(stream, start=1):
+        delta = dyn.apply(batch)
+        start = time.perf_counter()
+        session.apply_delta(delta)
+        patch_seconds += time.perf_counter() - start
+        if i % max(len(stream) // 5, 1) == 0 or i == len(stream):
+            estimate = float(triangle_count(pg, config=session.config))
+            exact = float(triangle_count(dyn.snapshot()))
+            print(
+                f"batch {i:3d}/{len(stream)}: m={dyn.num_edges}, "
+                f"TC estimate {estimate:12.0f}  (exact {exact:10.0f}, "
+                f"relative {estimate / exact:.3f})"
+            )
+
+    # The patched sketches are bit-identical to a cold rebuild on the final
+    # graph — streaming maintenance loses no accuracy whatsoever.
+    fresh = ProbGraph(dyn.snapshot(), **params)
+    assert np.array_equal(pg.sketches.words, fresh.sketches.words)
+    print(
+        f"\npatched {len(stream)} batches in {patch_seconds * 1e3:.1f} ms; "
+        f"final sketches bit-identical to a cold rebuild"
+    )
+    print(
+        f"session: {session.stats.constructions} construction(s), "
+        f"{session.stats.delta_patches} delta patch(es) — the cache never went cold"
+    )
+    print(
+        "(benchmarks/bench_dynamic_updates.py measures incremental-vs-rebuild "
+        "speed on a 100k-edge stream)"
+    )
+
+
+if __name__ == "__main__":
+    main()

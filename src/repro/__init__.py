@@ -26,6 +26,16 @@ through memory-bounded chunks::
     session = PGSession()
     pg = session.probgraph(g, representation="bloom")   # built once, cached
     ests = session.pair_intersections(pg, u, v)         # chunk-streamed
+
+For evolving graphs, apply batched edge updates through a
+:class:`~repro.dynamic.DynamicGraph` and patch the cached sketches in place
+instead of rebuilding them::
+
+    from repro import DynamicGraph
+
+    dyn = DynamicGraph(g)
+    delta = dyn.apply_edges(insertions=[(0, 42), (7, 13)])
+    session.apply_delta(delta)       # touched sketch rows patched, cache kept
 """
 
 from .algorithms import (
@@ -40,10 +50,11 @@ from .algorithms import (
     triangle_count_exact,
 )
 from .core import EstimatorKind, ProbGraph, Representation, estimate_triangles
+from .dynamic import DynamicGraph, EdgeBatch, EdgeStream, GraphDelta
 from .engine import EngineConfig, PGSession
 from .graph import CSRGraph, kronecker_graph, load_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -53,6 +64,10 @@ __all__ = [
     "EstimatorKind",
     "PGSession",
     "EngineConfig",
+    "DynamicGraph",
+    "EdgeStream",
+    "EdgeBatch",
+    "GraphDelta",
     "triangle_count",
     "triangle_count_exact",
     "estimate_triangles",

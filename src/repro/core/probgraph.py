@@ -18,10 +18,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports core)
+    from ..dynamic.graph import GraphDelta
 from ..sketches.bloom import BloomFamily, BloomNeighborhoodSketches
 from ..sketches.kmv import KMVFamily
 from ..sketches.minhash import BottomKFamily, KHashFamily
@@ -194,6 +198,9 @@ class ProbGraph:
         start = time.perf_counter()
         self.sketches = self.family.sketch_neighborhoods(self._base.indptr, self._base.indices)
         self.construction_seconds = time.perf_counter() - start
+        self.deltas_applied = 0
+        self.rows_patched = 0
+        self.patch_seconds = 0.0
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -271,6 +278,69 @@ class ProbGraph:
     def exact_int_card(self, u: int, v: int) -> int:
         """Exact ``|N_u ∩ N_v|`` on the underlying CSR graph (Listing 6's ``int_card``)."""
         return self._base.common_neighbors(u, v)
+
+    # ------------------------------------------------------ dynamic maintenance
+    def apply_delta(self, delta: "GraphDelta") -> "ProbGraph":
+        """Patch this ProbGraph in place to represent ``delta.graph``.
+
+        The delta must start at this object's current graph
+        (``delta.old_fingerprint`` is checked).  Only the touched sketch rows
+        are updated:
+
+        * pure insertions go through the containers'
+          :meth:`~repro.sketches.base.NeighborhoodSketches.apply_delta`
+          (Bloom: set bits; MinHash: per-permutation minima; bottom-k/KMV:
+          bounded-heap merge) — ``O(k)`` per new endpoint;
+        * deletion-touched vertices are resketched from the new adjacency
+          (sketches cannot forget elements);
+        * for *oriented* sketch sets the degree-order orientation is recomputed
+          and exactly the rows whose ``N+`` changed are resketched.
+
+        In every case the patched container is **bit-identical** to a fresh
+        build on ``delta.graph`` with the same parameters, so all query paths
+        (including the engine's batched/chunked ones) run unchanged on top.
+
+        If this object lives in a :class:`~repro.engine.PGSession` cache,
+        advance it through :meth:`PGSession.apply_delta <repro.engine.PGSession.apply_delta>`
+        instead of calling this method directly — the session patches the
+        object *and* moves its cache key to the new fingerprint (a direct call
+        leaves the entry keyed under the old graph; the session detects and
+        re-keys such entries on the next lookup rather than serving them for
+        the wrong graph).
+        """
+        if delta.old_fingerprint != self.graph.fingerprint():
+            raise ValueError(
+                "delta does not start at this ProbGraph's graph "
+                f"(expected fingerprint {self.graph.fingerprint()[:12]}..., "
+                f"got {delta.old_fingerprint[:12]}...)"
+            )
+        start = time.perf_counter()
+        new_graph = delta.graph
+        if new_graph.num_vertices > self.sketches.num_sets:
+            self.sketches.grow(new_graph.num_vertices)
+        if self.oriented:
+            new_base, rows = delta.oriented_update(self._base)
+            if rows.size:
+                self.sketches.resketch_rows(rows, new_base.indptr, new_base.indices)
+            self._base = new_base
+            touched = int(rows.size)
+        else:
+            dirty = delta.dirty_vertices
+            vertices, delta_indptr, delta_indices = delta.insertions_excluding(dirty)
+            if vertices.size:
+                new_sizes = (
+                    new_graph.indptr[vertices + 1] - new_graph.indptr[vertices]
+                ).astype(np.float64)
+                self.sketches.apply_delta(vertices, delta_indptr, delta_indices, new_sizes)
+            if dirty.size:
+                self.sketches.resketch_rows(dirty, new_graph.indptr, new_graph.indices)
+            self._base = new_graph
+            touched = int(vertices.size + dirty.size)
+        self.graph = new_graph
+        self.deltas_applied += 1
+        self.rows_patched += touched
+        self.patch_seconds += time.perf_counter() - start
+        return self
 
     # ------------------------------------------------------------------ misc
     def cache_key(self) -> tuple:

@@ -1,0 +1,36 @@
+"""Dynamic graphs: batched edge streams, graph deltas, incremental sketch maintenance.
+
+The layer between the immutable CSR substrate and the engine for
+streaming/evolving-graph workloads:
+
+* :class:`DynamicGraph` applies batched edge insertions (sorted merge) and
+  deletions (tombstones + bounded compaction) and emits a :class:`GraphDelta`
+  per batch;
+* :class:`GraphDelta` carries the new :class:`~repro.graph.CSRGraph` snapshot,
+  the per-vertex inserted neighbors, and the deletion-touched vertices;
+* :meth:`repro.core.ProbGraph.apply_delta` and
+  :meth:`repro.engine.PGSession.apply_delta` consume deltas to patch sketch
+  sets in place — bit-identical to a fresh rebuild on the new graph, at the
+  cost of only the touched rows.
+
+See ``docs/architecture.md`` ("Dynamic graphs and delta patching") and
+``examples/streaming_tc.py``.
+"""
+
+from .graph import (
+    DynamicGraph,
+    DynamicStats,
+    EdgeBatch,
+    EdgeStream,
+    GraphDelta,
+    changed_rows,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "DynamicStats",
+    "EdgeBatch",
+    "EdgeStream",
+    "GraphDelta",
+    "changed_rows",
+]

@@ -1,0 +1,461 @@
+"""Dynamic-graph layer: batched edge streams on top of the CSR substrate.
+
+ProbGraph's per-vertex sketches are fixed-size and insert-friendly (§II-D):
+adding an element to a neighborhood only ever *updates* the sketch row in
+``O(k)`` — set Bloom bits, lower per-permutation minima, merge into a bounded
+value heap.  The missing piece for streaming/evolving-graph workloads is the
+graph side: :class:`~repro.graph.csr.CSRGraph` is immutable, so every edge
+change used to force a full reconstruction of both the CSR arrays and every
+sketch.
+
+This module maintains a mutable adjacency with batch semantics:
+
+* :class:`EdgeStream` / :class:`EdgeBatch` describe a sequence of batched edge
+  insertions and deletions;
+* :class:`DynamicGraph` applies a batch to its internal adjacency —
+  insertions by sorted merge, deletions by **tombstoning** the affected slots
+  (the arrays are only compacted when the dead fraction crosses a bound);
+* every :meth:`DynamicGraph.apply` returns a :class:`GraphDelta`: the new
+  :class:`~repro.graph.csr.CSRGraph` snapshot plus the per-vertex neighborhood
+  additions and the deletion-touched ("dirty") vertices.
+
+The delta is what the sketch layer consumes:
+:meth:`repro.core.ProbGraph.apply_delta` patches only the touched sketch rows
+(incremental insert for pure additions, per-row resketch for dirty rows), and
+:meth:`repro.engine.PGSession.apply_delta` advances cached entries from the
+old graph fingerprint to the new one without evicting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph, ragged_gather
+
+__all__ = [
+    "EdgeBatch",
+    "EdgeStream",
+    "GraphDelta",
+    "DynamicGraph",
+    "DynamicStats",
+    "changed_rows",
+]
+
+_EMPTY_EDGES = np.empty((0, 2), dtype=np.int64)
+
+
+def _as_edge_array(edges) -> np.ndarray:
+    """Normalize any edge collection into an ``(m, 2)`` int64 array."""
+    if edges is None:
+        return _EMPTY_EDGES
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+    if arr.size == 0:
+        return _EMPTY_EDGES
+    arr = arr.reshape(-1, 2)
+    if np.any(arr < 0):
+        raise ValueError("vertex IDs must be non-negative")
+    return arr
+
+
+def _canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Canonical undirected edge list: self-loops dropped, ``u < v``, unique rows."""
+    arr = _as_edge_array(edges)
+    if arr.shape[0] == 0:
+        return _EMPTY_EDGES
+    arr = arr[arr[:, 0] != arr[:, 1]]
+    if arr.shape[0] == 0:
+        return _EMPTY_EDGES
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    return np.unique(np.stack([lo, hi], axis=1), axis=0)
+
+
+def changed_rows(old: CSRGraph, new: CSRGraph) -> np.ndarray:
+    """Vertices whose neighborhood differs between two CSR graphs (exact, vectorized).
+
+    Used to patch sketches of *oriented* neighborhoods: degree-order
+    orientation is a global property, so an edge change can reshape ``N+`` rows
+    far from the touched endpoints.  Comparing the two oriented CSR structures
+    row-wise identifies exactly the rows whose sketches must be rebuilt.
+    ``new`` may have more vertices than ``old``; extra non-empty rows count as
+    changed.
+    """
+    n_new = new.num_vertices
+    deg_new = new.degrees
+    deg_old = np.zeros(n_new, dtype=np.int64)
+    deg_old[: old.num_vertices] = old.degrees[: min(old.num_vertices, n_new)]
+    changed = deg_old != deg_new
+    candidates = np.flatnonzero(~changed & (deg_new > 0))
+    if candidates.size:
+        counts = deg_new[candidates]
+        idx_old = ragged_gather(old.indptr[candidates], counts)
+        idx_new = ragged_gather(new.indptr[candidates], counts)
+        neq = old.indices[idx_old] != new.indices[idx_new]
+        seg_starts = np.cumsum(counts) - counts
+        mismatch = np.logical_or.reduceat(neq, seg_starts)
+        changed[candidates[mismatch]] = True
+    return np.flatnonzero(changed)
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """One batch of edge operations: deletions are applied before insertions."""
+
+    insertions: np.ndarray = field(default_factory=lambda: _EMPTY_EDGES)
+    deletions: np.ndarray = field(default_factory=lambda: _EMPTY_EDGES)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "insertions", _as_edge_array(self.insertions))
+        object.__setattr__(self, "deletions", _as_edge_array(self.deletions))
+
+    @property
+    def num_operations(self) -> int:
+        """Raw operation count (before canonicalization / dedup)."""
+        return int(self.insertions.shape[0] + self.deletions.shape[0])
+
+
+class EdgeStream:
+    """A finite sequence of :class:`EdgeBatch` objects (the streaming workload shape)."""
+
+    def __init__(self, batches: Iterable[EdgeBatch]) -> None:
+        self._batches: list[EdgeBatch] = list(batches)
+
+    @classmethod
+    def insert_only(
+        cls,
+        edges: np.ndarray | Sequence[tuple[int, int]],
+        batch_size: int,
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> "EdgeStream":
+        """Chop an edge list into fixed-size insertion batches (optionally shuffled)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        arr = _as_edge_array(edges)
+        if shuffle:
+            rng = np.random.default_rng(seed)
+            arr = arr[rng.permutation(arr.shape[0])]
+        batches = [
+            EdgeBatch(insertions=arr[start: start + batch_size])
+            for start in range(0, arr.shape[0], batch_size)
+        ]
+        return cls(batches)
+
+    @property
+    def num_edges(self) -> int:
+        """Total raw operation count over all batches."""
+        return sum(batch.num_operations for batch in self._batches)
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator[EdgeBatch]:
+        return iter(self._batches)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The structural change produced by one :meth:`DynamicGraph.apply` call.
+
+    ``ins_vertices`` / ``ins_indptr`` / ``ins_indices`` form a small CSR
+    structure over only the insert-touched vertices: vertex ``ins_vertices[i]``
+    gained neighbors ``ins_indices[ins_indptr[i]:ins_indptr[i+1]]`` (each
+    undirected insertion contributes to both endpoint rows).
+    ``dirty_vertices`` are deletion-touched vertices whose sketches cannot be
+    updated incrementally and must be resketched from ``graph``.
+    """
+
+    old_fingerprint: str
+    graph: CSRGraph
+    ins_vertices: np.ndarray
+    ins_indptr: np.ndarray
+    ins_indices: np.ndarray
+    dirty_vertices: np.ndarray
+    inserted_edges: np.ndarray
+    deleted_edges: np.ndarray
+    #: Per-delta memo shared by every consumer (see :meth:`oriented_update`).
+    _oriented_memo: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def new_fingerprint(self) -> str:
+        """Fingerprint of the post-delta snapshot (the advanced cache-key component)."""
+        return self.graph.fingerprint()
+
+    def oriented_update(self, old_base: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+        """The new oriented graph plus the oriented rows that changed.
+
+        Every consumer of one delta starts from a structurally identical old
+        graph (:meth:`repro.core.ProbGraph.apply_delta` checks the
+        fingerprint), so the ``O(m)`` orientation and row diff are computed
+        once per delta and shared — a session holding several oriented sketch
+        sets of the same graph pays the cost once, not per entry.
+        """
+        if "base" not in self._oriented_memo:
+            new_base = self.graph.oriented()
+            self._oriented_memo["base"] = new_base
+            self._oriented_memo["changed"] = changed_rows(old_base, new_base)
+        return self._oriented_memo["base"], self._oriented_memo["changed"]
+
+    @property
+    def num_touched_vertices(self) -> int:
+        """Number of distinct vertex rows this delta touches."""
+        touched = np.union1d(self.ins_vertices, self.dirty_vertices)
+        return int(touched.size)
+
+    def insertions_excluding(self, exclude: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The insert-delta CSR restricted to vertices *not* in ``exclude``.
+
+        Dirty vertices get a full row resketch, so applying their incremental
+        insertions first would be redundant work; this helper drops them.
+        """
+        exclude = np.asarray(exclude, dtype=np.int64)
+        if exclude.size == 0 or self.ins_vertices.size == 0:
+            return self.ins_vertices, self.ins_indptr, self.ins_indices
+        keep = ~np.isin(self.ins_vertices, exclude)
+        counts = np.diff(self.ins_indptr)
+        flat_keep = np.repeat(keep, counts)
+        kept_counts = counts[keep]
+        indptr = np.concatenate([[0], np.cumsum(kept_counts)]).astype(np.int64)
+        return self.ins_vertices[keep], indptr, self.ins_indices[flat_keep]
+
+
+@dataclass
+class DynamicStats:
+    """Observable activity of one :class:`DynamicGraph`."""
+
+    batches: int = 0
+    edges_inserted: int = 0
+    edges_deleted: int = 0
+    compactions: int = 0
+
+
+class DynamicGraph:
+    """A mutable undirected graph supporting batched edge insertions and deletions.
+
+    The adjacency is stored CSR-style (``indptr`` / ``indices``) with an
+    ``alive`` mask over the index slots.  Insertions merge new slots into the
+    sorted rows; deletions flip slots dead (tombstones) in ``O(batch · log d)``
+    lookup work.  When the dead fraction exceeds ``max_tombstone_fraction``
+    the arrays are compacted in one ``O(m)`` pass — the *bounded rebuild*.
+
+    :meth:`snapshot` materializes the current graph as an immutable
+    :class:`~repro.graph.csr.CSRGraph` (cached between mutations), and
+    :meth:`apply` returns the :class:`GraphDelta` the sketch/engine layers
+    consume.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph | None = None,
+        num_vertices: int | None = None,
+        max_tombstone_fraction: float = 0.25,
+    ) -> None:
+        if not 0.0 < max_tombstone_fraction <= 1.0:
+            raise ValueError("max_tombstone_fraction must lie in (0, 1]")
+        if graph is None:
+            n = int(num_vertices or 0)
+            graph = CSRGraph(n, np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        elif num_vertices is not None and num_vertices != graph.num_vertices:
+            raise ValueError("num_vertices conflicts with the provided graph")
+        self._n = graph.num_vertices
+        self._indptr = graph.indptr.copy()
+        self._indices = graph.indices.copy()
+        self._alive = np.ones(self._indices.shape[0], dtype=bool)
+        self._dead = 0
+        self.max_tombstone_fraction = float(max_tombstone_fraction)
+        self._snapshot: CSRGraph | None = graph
+        self._slot_keys: np.ndarray | None = None
+        self.stats = DynamicStats()
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_vertices(self) -> int:
+        """Current number of vertices."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of *alive* undirected edges."""
+        return (self._indices.shape[0] - self._dead) // 2
+
+    @property
+    def num_tombstones(self) -> int:
+        """Dead directed slots awaiting compaction."""
+        return self._dead
+
+    def snapshot(self) -> CSRGraph:
+        """The current graph as an immutable CSR (cached until the next mutation)."""
+        if self._snapshot is None:
+            if self._dead == 0:
+                # Tombstone-free fast path: plain copies, no mask compaction.
+                self._snapshot = CSRGraph(self._n, self._indptr.copy(), self._indices.copy())
+            else:
+                cum = np.concatenate([[0], np.cumsum(self._alive)]).astype(np.int64)
+                self._snapshot = CSRGraph(self._n, cum[self._indptr], self._indices[self._alive])
+        return self._snapshot
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is currently alive."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n) or u == v:
+            return False
+        pos, found = self._locate(np.asarray([u]), np.asarray([v]))
+        return bool(found[0] and self._alive[pos[0]])
+
+    # -------------------------------------------------------------- mutation
+    def apply(self, batch: EdgeBatch) -> GraphDelta:
+        """Apply one batch (deletions first, then insertions) and return its delta."""
+        old = self.snapshot()
+        old_fingerprint = old.fingerprint()
+        deleted = self._delete(_canonical_edges(batch.deletions))
+        inserted = self._insert(_canonical_edges(batch.insertions))
+        self._maybe_compact()
+        new = self.snapshot()
+        ins_vertices, ins_indptr, ins_indices = self._delta_csr(inserted)
+        dirty = np.unique(deleted.ravel()) if deleted.size else np.empty(0, dtype=np.int64)
+        self.stats.batches += 1
+        self.stats.edges_inserted += int(inserted.shape[0])
+        self.stats.edges_deleted += int(deleted.shape[0])
+        return GraphDelta(
+            old_fingerprint=old_fingerprint,
+            graph=new,
+            ins_vertices=ins_vertices,
+            ins_indptr=ins_indptr,
+            ins_indices=ins_indices,
+            dirty_vertices=dirty,
+            inserted_edges=inserted,
+            deleted_edges=deleted,
+        )
+
+    def apply_edges(self, insertions=None, deletions=None) -> GraphDelta:
+        """Convenience wrapper: apply one ad-hoc batch of raw edge arrays."""
+        return self.apply(EdgeBatch(insertions=insertions, deletions=deletions))
+
+    # -------------------------------------------------------------- internals
+    def _locate(self, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Slot positions of directed entries ``src → dst`` among the stored slots.
+
+        Returns ``(pos, found)``: when ``found[i]``, slot ``pos[i]`` holds the
+        entry (alive or tombstoned); otherwise ``pos[i]`` is the insertion
+        point that keeps the row sorted.
+        """
+        if src.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        if self._indices.size == 0:
+            return self._indptr[src], np.zeros(src.shape[0], dtype=bool)
+        # Composite slot keys (owner * n + neighbor) are strictly increasing in
+        # CSR order, so one vectorized searchsorted answers the whole batch.
+        # The key array is cached: tombstone flips do not change it, only slot
+        # insertion, compaction, or vertex growth invalidate it.
+        if self._slot_keys is None:
+            owners = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._indptr))
+            self._slot_keys = owners * np.int64(self._n) + self._indices
+        slot_keys = self._slot_keys
+        query_keys = src * np.int64(self._n) + dst
+        pos = np.searchsorted(slot_keys, query_keys)
+        found = np.zeros(src.shape[0], dtype=bool)
+        in_range = pos < slot_keys.size
+        found[in_range] = slot_keys[pos[in_range]] == query_keys[in_range]
+        return pos, found
+
+    def _grow(self, new_n: int) -> None:
+        extra = new_n - self._n
+        if extra <= 0:
+            return
+        tail = np.full(extra, self._indptr[-1], dtype=np.int64)
+        self._indptr = np.concatenate([self._indptr, tail])
+        self._n = new_n
+        self._snapshot = None
+        self._slot_keys = None  # keys are based on the old vertex count
+
+    def _delete(self, canon: np.ndarray) -> np.ndarray:
+        """Tombstone the present edges of ``canon``; returns the edges actually removed."""
+        if canon.shape[0] == 0:
+            return _EMPTY_EDGES
+        in_range = (canon[:, 0] < self._n) & (canon[:, 1] < self._n)
+        canon = canon[in_range]
+        if canon.shape[0] == 0:
+            return _EMPTY_EDGES
+        pos_uv, found_uv = self._locate(canon[:, 0], canon[:, 1])
+        present = np.zeros(canon.shape[0], dtype=bool)
+        present[found_uv] = self._alive[pos_uv[found_uv]]
+        if not np.any(present):
+            return _EMPTY_EDGES
+        removed = canon[present]
+        pos_vu, _ = self._locate(removed[:, 1], removed[:, 0])
+        self._alive[pos_uv[present]] = False
+        self._alive[pos_vu] = False
+        self._dead += 2 * removed.shape[0]
+        self._snapshot = None
+        return removed
+
+    def _insert(self, canon: np.ndarray) -> np.ndarray:
+        """Merge the absent edges of ``canon`` into the rows; returns the edges added."""
+        if canon.shape[0] == 0:
+            return _EMPTY_EDGES
+        max_id = int(canon.max())
+        if max_id >= self._n:
+            self._grow(max_id + 1)
+        pos_uv, found_uv = self._locate(canon[:, 0], canon[:, 1])
+        already_alive = np.zeros(canon.shape[0], dtype=bool)
+        already_alive[found_uv] = self._alive[pos_uv[found_uv]]
+        added = canon[~already_alive]
+        if added.shape[0] == 0:
+            return _EMPTY_EDGES
+        # Resurrect tombstoned slots in place (both directions share the fate).
+        resurrect = found_uv & ~already_alive
+        if np.any(resurrect):
+            res = canon[resurrect]
+            pos_vu, _ = self._locate(res[:, 1], res[:, 0])
+            self._alive[pos_uv[resurrect]] = True
+            self._alive[pos_vu] = True
+            self._dead -= 2 * res.shape[0]
+        # Fresh edges need new slots in both directions, inserted in CSR order.
+        fresh = canon[~found_uv]
+        if fresh.shape[0]:
+            src = np.concatenate([fresh[:, 0], fresh[:, 1]])
+            dst = np.concatenate([fresh[:, 1], fresh[:, 0]])
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+            pos, _ = self._locate(src, dst)
+            self._indices = np.insert(self._indices, pos, dst)
+            self._alive = np.insert(self._alive, pos, True)
+            shift = np.concatenate([[0], np.cumsum(np.bincount(src, minlength=self._n))])
+            self._indptr = self._indptr + shift.astype(np.int64)
+            self._slot_keys = None
+        self._snapshot = None
+        return added
+
+    def _maybe_compact(self) -> None:
+        if self._dead and self._dead > self.max_tombstone_fraction * self._indices.shape[0]:
+            cum = np.concatenate([[0], np.cumsum(self._alive)]).astype(np.int64)
+            self._indptr = cum[self._indptr]
+            self._indices = self._indices[self._alive]
+            self._alive = np.ones(self._indices.shape[0], dtype=bool)
+            self._dead = 0
+            self.stats.compactions += 1
+            self._snapshot = None
+            self._slot_keys = None
+
+    @staticmethod
+    def _delta_csr(edges: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group the endpoint contributions of undirected ``edges`` by vertex."""
+        if edges.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.zeros(1, dtype=np.int64), empty
+        src = np.concatenate([edges[:, 0], edges[:, 1]])
+        dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        vertices, counts = np.unique(src, return_counts=True)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return vertices, indptr, dst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicGraph(n={self._n}, m={self.num_edges}, "
+            f"tombstones={self._dead}, batches={self.stats.batches})"
+        )

@@ -26,6 +26,7 @@ from .batch import (
     batched_pair_jaccard,
     engine_stats,
     iter_pair_chunks,
+    record_patch,
     reset_engine_stats,
     resolve_chunk_pairs,
     scatter_add_pair_intersections,
@@ -41,6 +42,7 @@ __all__ = [
     "SessionStats",
     "default_session",
     "engine_stats",
+    "record_patch",
     "reset_engine_stats",
     "resolve_chunk_pairs",
     "iter_pair_chunks",

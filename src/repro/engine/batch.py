@@ -41,6 +41,7 @@ __all__ = [
     "EngineStats",
     "engine_stats",
     "reset_engine_stats",
+    "record_patch",
     "resolve_chunk_pairs",
     "iter_pair_chunks",
     "batched_pair_intersections",
@@ -90,15 +91,27 @@ class EngineConfig:
 
 @dataclass
 class EngineStats:
-    """Mutable counters describing the engine's activity (mostly for tests/benchmarks)."""
+    """Mutable counters describing the engine's activity (mostly for tests/benchmarks).
+
+    ``patches`` / ``patched_rows`` count *session-applied* dynamic-graph
+    deltas (:meth:`repro.engine.PGSession.apply_delta`): how many cached
+    sketch sets were patched and how many rows those patches touched.  Direct
+    :meth:`repro.core.ProbGraph.apply_delta` calls are engine-free and track
+    their own ``deltas_applied`` / ``rows_patched`` instead.  Together with
+    the query counters these make the incremental path observable — queries
+    stream over patched sets through exactly the same chunk contract as over
+    freshly built ones.
+    """
 
     queries: int = 0
     chunks: int = 0
     pairs: int = 0
+    patches: int = 0
+    patched_rows: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy (the module-level instance keeps mutating)."""
-        return EngineStats(self.queries, self.chunks, self.pairs)
+        return EngineStats(self.queries, self.chunks, self.pairs, self.patches, self.patched_rows)
 
 
 _STATS = EngineStats()
@@ -114,6 +127,14 @@ def reset_engine_stats() -> None:
     _STATS.queries = 0
     _STATS.chunks = 0
     _STATS.pairs = 0
+    _STATS.patches = 0
+    _STATS.patched_rows = 0
+
+
+def record_patch(rows_touched: int) -> None:
+    """Account one dynamic-delta application that patched ``rows_touched`` sketch rows."""
+    _STATS.patches += 1
+    _STATS.patched_rows += int(rows_touched)
 
 
 def resolve_chunk_pairs(sketches, config: EngineConfig | None = None) -> int:

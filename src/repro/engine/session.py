@@ -15,8 +15,15 @@ A :class:`PGSession` keys built sketch sets by
 where the fingerprint is :meth:`repro.graph.CSRGraph.fingerprint` (structural
 digest) and the params come from :func:`repro.core.probgraph.resolve_sketch_params`
 (so ``storage_budget=0.25`` and the explicit ``num_bits`` it resolves to hit
-the *same* entry).  Entries are kept in a bounded LRU; a construction counter
-makes cache behaviour observable and testable.
+the *same* entry).  Entries are kept in a bounded LRU; construction/hit/miss
+counters make cache behaviour observable and testable.
+
+The cache is **delta-aware**: when the underlying graph evolves
+(:class:`repro.dynamic.DynamicGraph` emits a
+:class:`~repro.dynamic.GraphDelta` per edge batch), :meth:`PGSession.apply_delta`
+patches the touched rows of every matching cached sketch set in place and
+advances its key to the new fingerprint instead of evicting it — streaming
+workloads never go cold.
 """
 
 from __future__ import annotations
@@ -24,16 +31,21 @@ from __future__ import annotations
 import copy
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph, Representation, resolve_sketch_params
 from ..graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dynamic.graph import GraphDelta
 from .batch import (
     EngineConfig,
     batched_pair_intersections,
     batched_pair_jaccard,
+    record_patch,
     sum_pair_intersections,
 )
 
@@ -46,7 +58,9 @@ class SessionStats:
 
     constructions: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     evictions: int = 0
+    delta_patches: int = 0
 
 
 class PGSession:
@@ -108,6 +122,18 @@ class PGSession:
         )
         key = (graph.fingerprint(), params.key(), bool(oriented), int(seed))
         cached = self._cache.get(key)
+        if cached is not None and cached.graph.fingerprint() != key[0]:
+            # The object was patched out-of-band (ProbGraph.apply_delta called
+            # directly instead of session.apply_delta): it now represents a
+            # *different* graph than its key claims.  Re-key it under its real
+            # identity instead of serving wrong-graph results, and fall through
+            # to a miss for the requested graph.
+            del self._cache[key]
+            real_key = cached.cache_key()
+            if real_key in self._cache:
+                self.stats.evictions += 1  # the re-key displaces an equivalent entry
+            self._cache[real_key] = cached
+            cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self.stats.cache_hits += 1
@@ -117,6 +143,7 @@ class PGSession:
                 view.estimator = wanted
                 return view
             return cached
+        self.stats.cache_misses += 1
         pg = ProbGraph(
             graph,
             representation=params.representation,
@@ -134,6 +161,42 @@ class PGSession:
             self._cache.popitem(last=False)
             self.stats.evictions += 1
         return pg
+
+    def apply_delta(self, delta: "GraphDelta") -> int:
+        """Patch every cached sketch set of the delta's source graph, in place.
+
+        Entries keyed by ``delta.old_fingerprint`` are advanced to
+        ``delta.new_fingerprint`` instead of being evicted: the cached
+        :class:`~repro.core.ProbGraph` objects are patched through
+        :meth:`~repro.core.ProbGraph.apply_delta` (only the touched vertex
+        rows change; results stay bit-identical to a fresh build on the new
+        graph) and re-keyed under the new fingerprint, preserving LRU order.
+        Callers holding references to the cached objects see them advance too.
+
+        Returns the number of entries patched.  Note that budget-derived
+        parameters are resolved against the graph a lookup passes in, so after
+        the graph grows a ``storage_budget`` lookup may resolve to different
+        concrete parameters than the patched entry carries; pass explicit
+        ``num_bits`` / ``k`` for stable keys across deltas.
+        """
+        old_fingerprint = delta.old_fingerprint
+        new_fingerprint = delta.new_fingerprint
+        patched = 0
+        remapped: OrderedDict[tuple, ProbGraph] = OrderedDict()
+        for key, pg in self._cache.items():
+            if key[0] == old_fingerprint:
+                rows_before = pg.rows_patched
+                pg.apply_delta(delta)
+                record_patch(pg.rows_patched - rows_before)
+                key = (new_fingerprint,) + key[1:]
+                patched += 1
+            remapped[key] = pg
+        # A patched entry can land on the key of an entry already built for the
+        # new graph (bit-identical sketches); the displaced one counts as evicted.
+        self.stats.evictions += len(self._cache) - len(remapped)
+        self._cache = remapped
+        self.stats.delta_patches += patched
+        return patched
 
     def cached(self, pg: ProbGraph) -> bool:
         """Whether ``pg``'s sketch set currently lives in this session's cache."""

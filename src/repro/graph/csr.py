@@ -27,10 +27,26 @@ from typing import Iterable
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["CSRGraph", "WORD_BITS"]
+__all__ = ["CSRGraph", "WORD_BITS", "ragged_gather"]
 
 #: Machine word size ``W`` used in the storage and work-depth accounting (Table I).
 WORD_BITS = 64
+
+
+def ragged_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat positions covering ``[starts[i], starts[i] + counts[i])`` for every i.
+
+    The gather pattern shared by everything that walks CSR segments without
+    per-row Python loops (sketch row maintenance, dynamic-graph row diffs):
+    turn a per-row ``(start, count)`` description into one flat index array.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+    return np.repeat(np.asarray(starts, dtype=np.int64), counts) + offsets
 
 
 class CSRGraph:

@@ -16,6 +16,7 @@ preserved because density and skew are kept.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -160,7 +161,12 @@ def load_dataset(name: str, scale: float = 0.25, max_edges: int = 60_000, seed: 
         n = max(int(n * ratio), 64)
         m = max_edges
     m = min(m, n * (n - 1) // 2)
-    graph_seed = seed + (hash(name) % 10_000)
+    # Derive the per-dataset seed from a *stable* digest of the name: Python's
+    # built-in ``hash(str)`` is salted per process, which silently broke
+    # cross-process reproducibility of the stand-in graphs (and with it any
+    # golden-file regression on experiment outputs).
+    name_digest = int.from_bytes(hashlib.sha1(name.encode()).digest()[:4], "little")
+    graph_seed = seed + (name_digest % 10_000)
     if spec.skew == "dense":
         return _dense_graph(n, m, graph_seed)
     return chung_lu_graph(n, m, seed=graph_seed)

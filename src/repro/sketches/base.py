@@ -18,7 +18,9 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["SetSketch", "SketchFamily", "as_id_array"]
+from ..graph.csr import ragged_gather
+
+__all__ = ["SetSketch", "SketchFamily", "as_id_array", "ragged_gather", "iter_count_groups"]
 
 
 def as_id_array(elements: Iterable[int] | np.ndarray) -> np.ndarray:
@@ -36,6 +38,29 @@ def as_id_array(elements: Iterable[int] | np.ndarray) -> np.ndarray:
     if not np.issubdtype(arr.dtype, np.integer):
         raise TypeError(f"set elements must be integers, got dtype {arr.dtype}")
     return arr.astype(np.int64, copy=False)
+
+
+def iter_count_groups(counts: np.ndarray):
+    """Yield ``(positions, count)`` groups of equal positive counts.
+
+    Value-sketch construction and maintenance (bottom-k, KMV) sort each
+    neighborhood's hashes; grouping rows by equal length turns the ragged
+    per-row work into dense ``(rows, count)`` blocks that one vectorized
+    ``np.sort`` call handles.  Zero-count rows are skipped.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return
+    order = np.argsort(counts, kind="stable")
+    sorted_counts = counts[order]
+    boundaries = np.flatnonzero(np.diff(sorted_counts)) + 1
+    for group in np.split(order, boundaries):
+        if group.size == 0:
+            continue
+        count = int(counts[group[0]])
+        if count == 0:
+            continue
+        yield group, count
 
 
 class SetSketch(abc.ABC):
@@ -144,6 +169,99 @@ class NeighborhoodSketches(abc.ABC):
             stop = min(start + max_chunk_pairs, total)
             out[start:stop] = self.pair_intersections(u[start:stop], v[start:stop], **kwargs)
         return out
+
+    # ------------------------------------------------------ incremental updates
+    def _normalize_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Validate and normalize the arguments of :meth:`apply_delta`."""
+        vertices = np.asarray(vertices, dtype=np.int64).ravel()
+        delta_indptr = np.asarray(delta_indptr, dtype=np.int64).ravel()
+        delta_indices = np.asarray(delta_indices, dtype=np.int64).ravel()
+        new_sizes = np.asarray(new_sizes, dtype=np.float64).ravel()
+        if delta_indptr.shape[0] != vertices.shape[0] + 1:
+            raise ValueError("delta_indptr length must be len(vertices) + 1")
+        if delta_indptr[0] != 0 or delta_indptr[-1] != delta_indices.shape[0]:
+            raise ValueError("delta_indptr must start at 0 and end at len(delta_indices)")
+        if new_sizes.shape[0] != vertices.shape[0]:
+            raise ValueError("new_sizes must have one entry per vertex")
+        if vertices.size and (vertices.min() < 0 or vertices.max() >= self.num_sets):
+            raise IndexError("delta vertex out of range")
+        if np.unique(vertices).size != vertices.size:
+            # Value-based containers write each row once per delta; a repeated
+            # vertex would silently lose all but its last segment's elements.
+            raise ValueError("delta vertices must be unique (merge repeated vertices' segments)")
+        return vertices, delta_indptr, delta_indices, new_sizes
+
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None:
+        """Incrementally insert new elements into the sketched sets, in place.
+
+        Vertex ``vertices[i]`` gains the elements
+        ``delta_indices[delta_indptr[i]:delta_indptr[i+1]]`` (which must not
+        already belong to its set) and its tracked set size becomes
+        ``new_sizes[i]``.  Vertices must be unique — one segment per touched
+        set (enforced; repeated rows would otherwise lose elements).  Implementations guarantee **bit-identical** results
+        to rebuilding the touched rows from scratch on the grown sets: Bloom
+        filters OR the new bit positions, MinHash signatures lower the
+        per-permutation minima, bottom-k/KMV merge into the bounded value
+        heap — all in ``O(k)`` per new element, never touching other rows.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental maintenance"
+        )
+
+    def resketch_rows(self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray) -> None:
+        """Rebuild the sketch rows of ``vertices`` from a full CSR adjacency, in place.
+
+        Used for changes incremental insertion cannot express (edge deletions,
+        reshaped oriented neighborhoods).  Row results are bit-identical to a
+        fresh :meth:`SketchFamily.sketch_neighborhoods` pass over the same
+        adjacency; rows outside ``vertices`` are untouched.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental maintenance"
+        )
+
+    def grow(self, num_sets: int) -> None:
+        """Append empty sketch rows until the container holds ``num_sets`` sets."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental maintenance"
+        )
+
+    def update_many(self, vertex: int, new_neighbors: Iterable[int] | np.ndarray) -> None:
+        """Incrementally insert ``new_neighbors`` into one vertex's sketched set.
+
+        Single-vertex convenience over :meth:`apply_delta` (the O(k) update
+        path of SNIPPETS' permutation-based MinHash maintenance, generalized to
+        every family).  ``new_neighbors`` must be distinct elements not already
+        in the set; the tracked set size grows by ``len(new_neighbors)``.
+        """
+        nbrs = as_id_array(new_neighbors)
+        if nbrs.size == 0:
+            return
+        v = int(vertex)
+        sizes = getattr(self, "exact_sizes", None)
+        if sizes is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not track set sizes; use apply_delta directly"
+            )
+        new_size = float(sizes[v]) + nbrs.size
+        self.apply_delta(
+            np.asarray([v], dtype=np.int64),
+            np.asarray([0, nbrs.size], dtype=np.int64),
+            nbrs,
+            np.asarray([new_size], dtype=np.float64),
+        )
 
     @abc.abstractmethod
     def cardinalities(self) -> np.ndarray:

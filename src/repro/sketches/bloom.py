@@ -29,7 +29,7 @@ from ..core.estimators import (
     bf_intersection_or,
     bf_size_swamidass,
 )
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
+from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, ragged_gather
 from .hashing import HashFamily
 
 __all__ = ["BloomFilter", "BloomFamily", "BloomNeighborhoodSketches"]
@@ -293,6 +293,53 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
                 bf_intersection_or(ones, su, sv, self.num_bits, self.num_hashes), dtype=np.float64
             )
         raise ValueError(f"estimator {kind} is not a Bloom-filter estimator")
+
+    # -- incremental maintenance -------------------------------------------
+    def _or_elements(self, rows: np.ndarray, elements: np.ndarray) -> None:
+        """OR the hashed bit positions of ``elements`` into their owning ``rows``."""
+        if elements.size == 0:
+            return
+        family = HashFamily(self.num_hashes, self.seed)
+        for i in range(self.num_hashes):
+            pos = (family.hash(elements, i) % np.uint64(self.num_bits)).astype(np.int64)
+            masks = np.uint64(1) << (pos % _WORD_BITS).astype(np.uint64)
+            np.bitwise_or.at(self.words, (rows, pos // _WORD_BITS), masks)
+
+    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+        """Set the bits of the new neighbors — insertion is native to Bloom filters."""
+        vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
+            vertices, delta_indptr, delta_indices, new_sizes
+        )
+        if vertices.size == 0:
+            return
+        owners = np.repeat(vertices, np.diff(delta_indptr))
+        self._or_elements(owners, delta_indices)
+        self.exact_sizes[vertices] = new_sizes
+
+    def resketch_rows(self, vertices, indptr, indices) -> None:
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0:
+            return
+        if vertices.min() < 0 or vertices.max() >= self.num_sets:
+            raise IndexError("resketch vertex out of range")
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        degrees = indptr[vertices + 1] - indptr[vertices]
+        self.words[vertices] = 0
+        owners = np.repeat(vertices, degrees)
+        self._or_elements(owners, indices[ragged_gather(indptr[vertices], degrees)])
+        self.exact_sizes[vertices] = degrees.astype(np.float64)
+
+    def grow(self, num_sets: int) -> None:
+        extra = int(num_sets) - self.num_sets
+        if extra < 0:
+            raise ValueError("cannot shrink a sketch container")
+        if extra == 0:
+            return
+        self.words = np.concatenate(
+            [self.words, np.zeros((extra, self.words.shape[1]), dtype=np.uint64)]
+        )
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
 
     def sketch_of(self, v: int) -> BloomFilter:
         """Materialize the standalone :class:`BloomFilter` of vertex ``v`` (mostly for tests)."""

@@ -15,7 +15,7 @@ from typing import Iterable
 import numpy as np
 
 from ..core.estimators import kmv_intersection, kmv_intersection_exact_sizes, kmv_size
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
+from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, iter_count_groups
 from .hashing import hash_to_unit
 
 __all__ = ["KMVSketch", "KMVFamily", "KMVNeighborhoodSketches"]
@@ -156,6 +156,54 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
         sv = self.exact_sizes[np.asarray(v, dtype=np.int64)]
         return np.asarray(kmv_intersection_exact_sizes(su, sv, union_est), dtype=np.float64)
 
+    # -- incremental maintenance -------------------------------------------
+    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+        """Merge the new neighbors' unit-interval hashes into each bounded k-minimum heap."""
+        vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
+            vertices, delta_indptr, delta_indices, new_sizes
+        )
+        if vertices.size == 0:
+            return
+        if delta_indices.size:
+            hashes = hash_to_unit(delta_indices, self.seed)
+            starts = delta_indptr[:-1]
+            for group, count in iter_count_groups(np.diff(delta_indptr)):
+                rows = vertices[group]
+                block = hashes[starts[group][:, None] + np.arange(count)[None, :]]
+                merged = np.concatenate([self.values[rows], block], axis=1)
+                merged.sort(axis=1)
+                self.values[rows] = merged[:, : self.k]
+        self.exact_sizes[vertices] = new_sizes
+
+    def resketch_rows(self, vertices, indptr, indices) -> None:
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0:
+            return
+        if vertices.min() < 0 or vertices.max() >= self.num_sets:
+            raise IndexError("resketch vertex out of range")
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        degrees = indptr[vertices + 1] - indptr[vertices]
+        self.values[vertices] = _EMPTY
+        for group, degree in iter_count_groups(degrees):
+            rows = vertices[group]
+            gather = indptr[rows][:, None] + np.arange(degree)[None, :]
+            block = np.sort(hash_to_unit(indices[gather], self.seed), axis=1)
+            keep = min(self.k, degree)
+            self.values[rows, :keep] = block[:, :keep]
+        self.exact_sizes[vertices] = degrees.astype(np.float64)
+
+    def grow(self, num_sets: int) -> None:
+        extra = int(num_sets) - self.num_sets
+        if extra < 0:
+            raise ValueError("cannot shrink a sketch container")
+        if extra == 0:
+            return
+        self.values = np.concatenate(
+            [self.values, np.full((extra, self.k), _EMPTY, dtype=np.float64)]
+        )
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+
     def sketch_of(self, v: int) -> KMVSketch:
         """Materialize the standalone KMV sketch of vertex ``v`` (mostly for tests)."""
         sk = KMVSketch(self.k, self.seed)
@@ -189,18 +237,8 @@ class KMVFamily(SketchFamily):
         values = np.full((n, self.k), _EMPTY, dtype=np.float64)
         if indices.size:
             hashes = hash_to_unit(indices, self.seed)
-            order = np.argsort(degrees, kind="stable")
-            sorted_deg = degrees[order]
-            boundaries = np.flatnonzero(np.diff(sorted_deg)) + 1
-            groups = np.split(order, boundaries)
-            for group in groups:
-                if group.size == 0:
-                    continue
-                d = int(degrees[group[0]])
-                if d == 0:
-                    continue
-                starts = indptr[group]
-                gather = starts[:, None] + np.arange(d)[None, :]
+            for group, d in iter_count_groups(degrees):
+                gather = indptr[group][:, None] + np.arange(d)[None, :]
                 block = np.sort(hashes[gather], axis=1)
                 keep = min(self.k, d)
                 values[group, :keep] = block[:, :keep]

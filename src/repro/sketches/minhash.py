@@ -25,7 +25,14 @@ from typing import Iterable
 import numpy as np
 
 from ..core.estimators import minhash_intersection, minhash_jaccard
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
+from .base import (
+    NeighborhoodSketches,
+    SetSketch,
+    SketchFamily,
+    as_id_array,
+    iter_count_groups,
+    ragged_gather,
+)
 from .hashing import HashFamily, splitmix64
 
 __all__ = [
@@ -151,6 +158,56 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
         su = self.exact_sizes[np.asarray(u, dtype=np.int64)]
         sv = self.exact_sizes[np.asarray(v, dtype=np.int64)]
         return np.asarray(minhash_intersection(matches, self.k, su, sv), dtype=np.float64)
+
+    # -- incremental maintenance -------------------------------------------
+    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+        """Lower each permutation's minimum with the new neighbors' hashes (O(k) per element)."""
+        vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
+            vertices, delta_indptr, delta_indices, new_sizes
+        )
+        if vertices.size == 0:
+            return
+        counts = np.diff(delta_indptr)
+        nonempty = counts > 0
+        if delta_indices.size:
+            rows = vertices[nonempty]
+            starts = delta_indptr[:-1][nonempty]
+            for i in range(self.k):
+                hashes = splitmix64(delta_indices, self.seed + i)
+                mins = np.minimum.reduceat(hashes, starts)
+                self.signatures[rows, i] = np.minimum(self.signatures[rows, i], mins)
+        self.exact_sizes[vertices] = new_sizes
+
+    def resketch_rows(self, vertices, indptr, indices) -> None:
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0:
+            return
+        if vertices.min() < 0 or vertices.max() >= self.num_sets:
+            raise IndexError("resketch vertex out of range")
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        degrees = indptr[vertices + 1] - indptr[vertices]
+        self.signatures[vertices] = _EMPTY
+        nonempty = degrees > 0
+        rows = vertices[nonempty]
+        if rows.size:
+            neighbors = indices[ragged_gather(indptr[rows], degrees[nonempty])]
+            seg_starts = np.cumsum(degrees[nonempty]) - degrees[nonempty]
+            for i in range(self.k):
+                hashes = splitmix64(neighbors, self.seed + i)
+                self.signatures[rows, i] = np.minimum.reduceat(hashes, seg_starts)
+        self.exact_sizes[vertices] = degrees.astype(np.float64)
+
+    def grow(self, num_sets: int) -> None:
+        extra = int(num_sets) - self.num_sets
+        if extra < 0:
+            raise ValueError("cannot shrink a sketch container")
+        if extra == 0:
+            return
+        self.signatures = np.concatenate(
+            [self.signatures, np.full((extra, self.k), _EMPTY, dtype=np.uint64)]
+        )
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
 
     def sketch_of(self, v: int) -> KHashSignature:
         """Materialize the standalone signature of vertex ``v`` (mostly for tests)."""
@@ -386,6 +443,60 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
         sv = self.exact_sizes[np.asarray(v, dtype=np.int64)]
         return jaccard / (1.0 + jaccard) * (su + sv)
 
+    # -- incremental maintenance -------------------------------------------
+    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+        """Merge the new neighbors' hashes into each row's bounded bottom-k heap.
+
+        The retained values of a row are the ``k`` smallest hashes of its set;
+        every dropped hash exceeds all retained ones, so the ``k`` smallest of
+        (retained ∪ new hashes) equal the ``k`` smallest of the grown set —
+        bit-identical to a rebuild.
+        """
+        vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
+            vertices, delta_indptr, delta_indices, new_sizes
+        )
+        if vertices.size == 0:
+            return
+        if delta_indices.size:
+            hashes = splitmix64(delta_indices, self.seed)
+            starts = delta_indptr[:-1]
+            for group, count in iter_count_groups(np.diff(delta_indptr)):
+                rows = vertices[group]
+                block = hashes[starts[group][:, None] + np.arange(count)[None, :]]
+                merged = np.concatenate([self.values[rows], block], axis=1)
+                merged.sort(axis=1)
+                self.values[rows] = merged[:, : self.k]
+        self.exact_sizes[vertices] = new_sizes
+
+    def resketch_rows(self, vertices, indptr, indices) -> None:
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        if vertices.size == 0:
+            return
+        if vertices.min() < 0 or vertices.max() >= self.num_sets:
+            raise IndexError("resketch vertex out of range")
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        degrees = indptr[vertices + 1] - indptr[vertices]
+        self.values[vertices] = _EMPTY
+        for group, degree in iter_count_groups(degrees):
+            rows = vertices[group]
+            gather = indptr[rows][:, None] + np.arange(degree)[None, :]
+            block = np.sort(splitmix64(indices[gather], self.seed), axis=1)
+            keep = min(self.k, degree)
+            self.values[rows, :keep] = block[:, :keep]
+        self.exact_sizes[vertices] = degrees.astype(np.float64)
+
+    def grow(self, num_sets: int) -> None:
+        extra = int(num_sets) - self.num_sets
+        if extra < 0:
+            raise ValueError("cannot shrink a sketch container")
+        if extra == 0:
+            return
+        self.values = np.concatenate(
+            [self.values, np.full((extra, self.k), _EMPTY, dtype=np.uint64)]
+        )
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+
     def sketch_of(self, v: int) -> BottomKSketch:
         """Materialize the standalone bottom-k sketch of vertex ``v`` (mostly for tests)."""
         sk = BottomKSketch(self.k, self.seed)
@@ -421,18 +532,8 @@ class BottomKFamily(SketchFamily):
             hashes = splitmix64(indices, self.seed)
             # Group vertices by degree so each group is a dense (count, degree)
             # matrix that can be sorted along axis=1 in one vectorized call.
-            order = np.argsort(degrees, kind="stable")
-            sorted_deg = degrees[order]
-            boundaries = np.flatnonzero(np.diff(sorted_deg)) + 1
-            groups = np.split(order, boundaries)
-            for group in groups:
-                if group.size == 0:
-                    continue
-                d = int(degrees[group[0]])
-                if d == 0:
-                    continue
-                starts = indptr[group]
-                gather = starts[:, None] + np.arange(d)[None, :]
+            for group, d in iter_count_groups(degrees):
+                gather = indptr[group][:, None] + np.arange(d)[None, :]
                 block = np.sort(hashes[gather], axis=1)
                 keep = min(self.k, d)
                 values[group, :keep] = block[:, :keep]

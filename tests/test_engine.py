@@ -232,6 +232,57 @@ def test_lru_eviction(graph):
     assert session.stats.constructions == 4
 
 
+def test_lru_eviction_order_respects_recency(graph):
+    """A warm hit refreshes recency, so eviction removes the *stalest* entry."""
+    session = PGSession(max_entries=3)
+    pg0 = session.probgraph(graph, representation="bloom", seed=0)
+    session.probgraph(graph, representation="bloom", seed=1)
+    session.probgraph(graph, representation="bloom", seed=2)
+    session.probgraph(graph, representation="bloom", seed=0)  # refresh seed=0
+    session.probgraph(graph, representation="bloom", seed=3)  # evicts seed=1, not seed=0
+    assert session.stats.evictions == 1
+    assert session.probgraph(graph, representation="bloom", seed=0) is pg0
+    assert session.stats.constructions == 4  # seed=0 never rebuilt
+    session.probgraph(graph, representation="bloom", seed=1)
+    assert session.stats.constructions == 5  # seed=1 was the one evicted
+
+
+def test_capacity_one_session(graph):
+    """max_entries=1 keeps exactly the most recent sketch set alive."""
+    session = PGSession(max_entries=1)
+    pg_a = session.probgraph(graph, representation="bloom", seed=0)
+    assert session.probgraph(graph, representation="bloom", seed=0) is pg_a
+    pg_b = session.probgraph(graph, representation="bloom", seed=1)
+    assert len(session) == 1
+    assert session.stats.evictions == 1
+    assert not session.cached(pg_a)
+    assert session.cached(pg_b)
+    rebuilt = session.probgraph(graph, representation="bloom", seed=0)
+    assert rebuilt is not pg_a
+    assert session.stats.constructions == 3
+    assert session.stats.cache_misses == 3
+    assert session.stats.cache_hits == 1
+
+
+def test_hit_miss_counters_after_delta_patch(graph):
+    """A patched entry keeps serving warm hits under the advanced fingerprint."""
+    from repro.dynamic import DynamicGraph
+
+    dyn = DynamicGraph(graph)
+    session = PGSession()
+    pg = session.probgraph(dyn.snapshot(), representation="bloom", num_bits=256, seed=6)
+    assert (session.stats.cache_misses, session.stats.cache_hits) == (1, 0)
+    delta = dyn.apply_edges(deletions=graph.edge_array()[:4])
+    assert session.apply_delta(delta) == 1
+    # Old-graph lookups now miss (that graph is gone) ...
+    session.probgraph(graph, representation="bloom", num_bits=256, seed=6)
+    assert (session.stats.cache_misses, session.stats.cache_hits) == (2, 0)
+    # ... while new-graph lookups hit the patched entry without rebuilding.
+    assert session.probgraph(dyn.snapshot(), representation="bloom", num_bits=256, seed=6) is pg
+    assert (session.stats.cache_misses, session.stats.cache_hits) == (2, 1)
+    assert session.stats.delta_patches == 1
+
+
 def test_default_session_is_singleton():
     assert default_session() is default_session()
 

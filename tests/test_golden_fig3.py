@@ -1,0 +1,60 @@
+"""Golden-file regression for the Fig. 3 intersection-accuracy experiment.
+
+Pins the boxplot summary statistics of every estimator under a fixed seed so
+that estimator drift — a changed formula, hash family, sampling path, or
+dataset stand-in — is caught in CI rather than silently shifting every figure.
+The pinned values depend on the stable-digest dataset seeding of
+``repro.graph.datasets`` (Python's salted ``hash(str)`` must never feed the
+generators, or the golden values differ between processes).
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.evalharness.experiments.fig3_intersection_accuracy import run_fig3
+    rows = run_fig3(graph_names=['bio-CE-PG', 'econ-beacxc'], storage_budgets=(0.25,),
+                    bloom_hashes=(2,), dataset_scale=0.1, max_edges=4000, seed=0)
+    json.dump(rows, open('tests/golden/fig3_summary.json', 'w'), indent=2, sort_keys=True)
+    "
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evalharness.experiments.fig3_intersection_accuracy import run_fig3
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fig3_summary.json"
+
+#: Float comparison slack: summaries are rounded to 4 decimals, so anything
+#: beyond one unit in the last rounded place is genuine drift, not noise.
+FLOAT_ABS_TOL = 2e-4
+
+
+def test_fig3_summary_matches_golden():
+    rows = run_fig3(
+        graph_names=["bio-CE-PG", "econ-beacxc"],
+        storage_budgets=(0.25,),
+        bloom_hashes=(2,),
+        dataset_scale=0.1,
+        max_edges=4000,
+        seed=0,
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert len(rows) == len(golden), "number of (graph, estimator) cells changed"
+    for got, want in zip(rows, golden):
+        cell = (want["graph"], want["estimator"])
+        assert set(got) == set(want), f"summary fields changed for {cell}"
+        for field, expected in want.items():
+            actual = got[field]
+            if isinstance(expected, float):
+                assert actual == pytest.approx(expected, abs=FLOAT_ABS_TOL), (
+                    f"estimator drift in {cell}: {field} = {actual}, pinned {expected}"
+                )
+            else:
+                assert actual == expected, (
+                    f"estimator drift in {cell}: {field} = {actual!r}, pinned {expected!r}"
+                )
