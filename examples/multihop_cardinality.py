@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multi-hop neighborhood sizes — the workload only HyperLogLog makes feasible.
+
+How many vertices does each vertex reach within r hops?  On a power-law graph
+the 2–3-hop balls already span large fractions of the graph, so a per-vertex
+answer needs sketches whose accuracy does *not* degrade with the represented
+set's size.  At a small §V-A budget the value sketches keep only a handful of
+elements per vertex (k ≈ budget_bits / 64), which saturates long before a
+multi-hop ball does; HyperLogLog spends the same bits on 6-bit registers whose
+relative error (~1.04/sqrt(m)) is size-independent, and whose union is a
+lossless register-wise max — so the whole workload is r rounds of a vectorized
+edge-wise maximum.
+
+Run with:  python examples/multihop_cardinality.py
+"""
+
+import numpy as np
+
+from repro import ProbGraph
+from repro.algorithms import exact_multihop_cardinalities, multihop_cardinalities
+from repro.graph import kronecker_graph
+
+BUDGET = 0.25
+HOPS = 3
+
+
+def main() -> None:
+    g = kronecker_graph(scale=11, edge_factor=8, seed=1)
+    print(f"graph: n={g.num_vertices}, m={g.num_edges}")
+
+    # What does the same §V-A budget buy each family?
+    hll = ProbGraph(g, representation="hll", storage_budget=BUDGET)
+    kmv = ProbGraph(g, representation="kmv", storage_budget=BUDGET)
+    print(
+        f"budget s={BUDGET:.0%}: HLL gets 2^{hll.precision} registers "
+        f"({hll.sketch_params.resolution.bits_per_vertex} bits/vertex), "
+        f"bottom-k/KMV get k={kmv.k} retained elements — "
+        f"a k={kmv.k} sketch cannot resolve balls of thousands of vertices"
+    )
+
+    exact_by_hops = {}
+    print(f"\n{'r':>3} {'mean |B_r|':>12} {'max |B_r|':>10} {'mean rel err':>13} {'seconds':>8}")
+    for hops in range(1, HOPS + 1):
+        exact = exact_multihop_cardinalities(g, hops=hops)
+        exact_by_hops[hops] = exact
+        result = multihop_cardinalities(g, hops=hops, storage_budget=BUDGET, seed=4)
+        err = np.abs(result.cardinalities - exact) / np.maximum(exact, 1)
+        print(
+            f"{hops:>3} {exact.mean():>12.1f} {exact.max():>10d} "
+            f"{err.mean():>13.4f} {result.seconds:>8.3f}"
+        )
+
+    # The balls quickly dwarf what a budget-equivalent value sketch retains.
+    final = exact_by_hops[HOPS]
+    saturated = float(np.mean(final > kmv.k))
+    m = 1 << hll.precision
+    print(
+        f"\nat r={HOPS}, {saturated:.0%} of balls exceed the k={kmv.k} elements a "
+        f"KMV sketch retains at the same budget; the HLL error above stays inside "
+        f"its size-independent ~{1.04 / np.sqrt(m):.0%} band no matter how large "
+        f"the balls grow"
+    )
+
+
+if __name__ == "__main__":
+    main()

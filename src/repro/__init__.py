@@ -44,6 +44,7 @@ from .algorithms import (
     four_clique_count,
     jarvis_patrick_clustering,
     local_clustering_coefficients,
+    multihop_cardinalities,
     similarity,
     similarity_scores,
     triangle_count,
@@ -78,6 +79,7 @@ __all__ = [
     "SimilarityMeasure",
     "evaluate_link_prediction",
     "local_clustering_coefficients",
+    "multihop_cardinalities",
     "kronecker_graph",
     "load_dataset",
 ]

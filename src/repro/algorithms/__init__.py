@@ -14,6 +14,11 @@ from .link_prediction import (
     evaluate_link_prediction,
     split_edges,
 )
+from .neighborhood_size import (
+    MultiHopResult,
+    exact_multihop_cardinalities,
+    multihop_cardinalities,
+)
 from .similarity import CARDINALITY_MEASURES, SimilarityMeasure, similarity, similarity_scores
 from .triangle_count import (
     TriangleCountResult,
@@ -34,6 +39,9 @@ __all__ = [
     "CARDINALITY_MEASURES",
     "similarity",
     "similarity_scores",
+    "MultiHopResult",
+    "multihop_cardinalities",
+    "exact_multihop_cardinalities",
     "ClusteringResult",
     "jarvis_patrick_clustering",
     "default_threshold",

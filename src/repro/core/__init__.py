@@ -1,6 +1,12 @@
 """Core ProbGraph contribution: estimators, bounds, budget resolution, and the ProbGraph class."""
 
-from .budget import BudgetResolution, relative_memory, resolve_bloom_bits, resolve_minhash_k
+from .budget import (
+    BudgetResolution,
+    relative_memory,
+    resolve_bloom_bits,
+    resolve_hll_precision,
+    resolve_minhash_k,
+)
 from .estimators import (
     EstimatorKind,
     bf_intersection_and,
@@ -8,6 +14,7 @@ from .estimators import (
     bf_intersection_or,
     bf_size_papapetrou,
     bf_size_swamidass,
+    hll_intersection,
     jaccard_to_intersection,
     kmv_intersection,
     kmv_intersection_exact_sizes,
@@ -25,6 +32,7 @@ __all__ = [
     "BudgetResolution",
     "resolve_bloom_bits",
     "resolve_minhash_k",
+    "resolve_hll_precision",
     "relative_memory",
     "bf_size_swamidass",
     "bf_size_papapetrou",
@@ -37,6 +45,7 @@ __all__ = [
     "kmv_size",
     "kmv_intersection",
     "kmv_intersection_exact_sizes",
+    "hll_intersection",
     "TriangleCountEstimate",
     "estimate_triangles",
     "exact_triangles_reference",

@@ -18,7 +18,13 @@ from dataclasses import dataclass
 
 from ..graph.csr import CSRGraph, WORD_BITS
 
-__all__ = ["BudgetResolution", "resolve_bloom_bits", "resolve_minhash_k", "relative_memory"]
+__all__ = [
+    "BudgetResolution",
+    "resolve_bloom_bits",
+    "resolve_minhash_k",
+    "resolve_hll_precision",
+    "relative_memory",
+]
 
 #: Smallest useful Bloom filter (one machine word).
 MIN_BLOOM_BITS = 64
@@ -71,6 +77,28 @@ def resolve_minhash_k(graph: CSRGraph, storage_budget: float) -> BudgetResolutio
     bits = k * WORD_BITS
     total = bits * graph.num_vertices
     return BudgetResolution(storage_budget, bits, total, graph.storage_bits)
+
+
+def resolve_hll_precision(graph: CSRGraph, storage_budget: float) -> tuple[int, BudgetResolution]:
+    """HyperLogLog register precision ``p`` for a given budget ``s``.
+
+    Each neighborhood gets ``m = 2**p`` registers of
+    :data:`~repro.sketches.hll.HLL_REGISTER_BITS` (6) packed bits — the same
+    per-retained-unit accounting the other families use — so ``p`` is the
+    largest precision whose ``6 * 2**p`` fits the per-vertex bit budget,
+    clamped into the valid ``[4, 18]`` range.  Unlike the value sketches, the
+    resolved accuracy (``~1.04 / sqrt(m)`` relative error) is independent of
+    the neighborhood sizes.
+    """
+    from ..sketches.hll import HLL_REGISTER_BITS, MAX_PRECISION, MIN_PRECISION
+
+    per_vertex = _budget_bits_per_vertex(graph, storage_budget)
+    precision = MIN_PRECISION
+    while precision < MAX_PRECISION and HLL_REGISTER_BITS << (precision + 1) <= per_vertex:
+        precision += 1
+    bits = HLL_REGISTER_BITS << precision
+    total = bits * graph.num_vertices
+    return precision, BudgetResolution(storage_budget, bits, total, graph.storage_bits)
 
 
 def relative_memory(graph: CSRGraph, total_sketch_bits: int) -> float:

@@ -50,6 +50,7 @@ __all__ = [
     "kmv_size",
     "kmv_intersection",
     "kmv_intersection_exact_sizes",
+    "hll_intersection",
 ]
 
 
@@ -62,6 +63,7 @@ class EstimatorKind(str, Enum):
     MINHASH_K = "kH"
     MINHASH_1 = "1H"
     KMV = "KMV"
+    HLL = "HLL"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -254,3 +256,24 @@ def kmv_intersection_exact_sizes(
     better concentration bound (Prop. A.9).
     """
     return kmv_intersection(size_x, size_y, union_est)
+
+
+def hll_intersection(
+    size_x: np.ndarray | float,
+    size_y: np.ndarray | float,
+    union_est: np.ndarray | float,
+) -> np.ndarray | float:
+    """``|X∩Y|^HLL`` — inclusion–exclusion over an HLL union estimate, clamped.
+
+    The union estimate carries the HLL relative error of the (often much
+    larger) union, so the raw difference ``|X| + |Y| - |X∪Y|`` can stray
+    outside the feasible interval; the result is clamped into
+    ``[0, min(|X|, |Y|)]``.  ``size_x`` / ``size_y`` are exact degrees in the
+    batch containers and HLL estimates for standalone sketches.
+    """
+    sx = np.asarray(size_x, dtype=np.float64)
+    sy = np.asarray(size_y, dtype=np.float64)
+    est = sx + sy - np.asarray(union_est, dtype=np.float64)
+    est = np.clip(est, 0.0, np.minimum(sx, sy))
+    scalar = not (np.ndim(size_x) or np.ndim(size_y) or np.ndim(union_est))
+    return float(est) if scalar else est

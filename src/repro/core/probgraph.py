@@ -2,9 +2,10 @@
 
 A :class:`ProbGraph` wraps a CSR graph with probabilistic sketches of every
 vertex neighborhood.  Users pick a representation (``"bloom"``, ``"khash"``,
-``"1hash"``/``"bottomk"``, or ``"kmv"``) and a storage budget ``s``; the class
-resolves the concrete sketch parameters (Bloom filter bits ``B``, number of
-hash functions ``b``, MinHash size ``k``), builds all sketches in one
+``"1hash"``/``"bottomk"``, ``"kmv"``, or ``"hll"``) and a storage budget
+``s``; the class resolves the concrete sketch parameters (Bloom filter bits
+``B``, number of hash functions ``b``, MinHash size ``k``, HLL precision
+``p``), builds all sketches in one
 vectorized pass, and exposes estimated neighborhood-intersection cardinalities
 through the same call shape the exact CSR graph offers.
 
@@ -27,12 +28,19 @@ from ..graph.csr import CSRGraph
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports core)
     from ..dynamic.graph import GraphDelta
 from ..sketches.bloom import BloomFamily, BloomNeighborhoodSketches
+from ..sketches.hll import HLLFamily
 from ..sketches.kmv import KMVFamily
 from ..sketches.minhash import BottomKFamily, KHashFamily
-from .budget import BudgetResolution, resolve_bloom_bits, resolve_minhash_k
+from .budget import BudgetResolution, resolve_bloom_bits, resolve_hll_precision, resolve_minhash_k
 from .estimators import EstimatorKind
 
-__all__ = ["Representation", "ProbGraph", "SketchParams", "resolve_sketch_params"]
+__all__ = [
+    "Representation",
+    "ProbGraph",
+    "SketchParams",
+    "resolve_sketch_params",
+    "check_estimator_kind",
+]
 
 
 class Representation(str, Enum):
@@ -42,6 +50,7 @@ class Representation(str, Enum):
     KHASH = "khash"
     ONEHASH = "1hash"
     KMV = "kmv"
+    HLL = "hll"
 
     @classmethod
     def parse(cls, value: "Representation | str") -> "Representation":
@@ -58,6 +67,7 @@ class Representation(str, Enum):
             "kh": cls.KHASH,
             "k-hash": cls.KHASH,
             "1-hash": cls.ONEHASH,
+            "hyperloglog": cls.HLL,
         }
         key = str(value).lower()
         if key in aliases:
@@ -66,6 +76,37 @@ class Representation(str, Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Estimator kinds each representation's sketches can evaluate.
+_SUPPORTED_ESTIMATORS = {
+    Representation.BLOOM: frozenset(
+        {EstimatorKind.BF_AND, EstimatorKind.BF_LIMIT, EstimatorKind.BF_OR}
+    ),
+    Representation.KHASH: frozenset({EstimatorKind.MINHASH_K}),
+    Representation.ONEHASH: frozenset({EstimatorKind.MINHASH_1}),
+    Representation.KMV: frozenset({EstimatorKind.KMV}),
+    Representation.HLL: frozenset({EstimatorKind.HLL}),
+}
+
+
+def check_estimator_kind(
+    representation: Representation, estimator: EstimatorKind | str
+) -> EstimatorKind:
+    """Validate that ``estimator`` is evaluable on ``representation``'s sketches.
+
+    Every estimator reads representation-specific observables (set bits,
+    signature slots, retained values, registers), so a mismatched kind cannot
+    be evaluated — it raises ``ValueError`` instead of silently answering with
+    a different formula than the caller asked for.
+    """
+    kind = EstimatorKind(estimator)
+    if kind not in _SUPPORTED_ESTIMATORS[representation]:
+        raise ValueError(
+            f"estimator {kind.value!r} is not supported by the "
+            f"{representation.value!r} representation"
+        )
+    return kind
 
 
 @dataclass(frozen=True)
@@ -85,10 +126,11 @@ class SketchParams:
     num_hashes: int | None = None
     k: int | None = None
     resolution: BudgetResolution | None = None
+    precision: int | None = None
 
     def key(self) -> tuple:
         """Hashable canonical identity of the concrete sketch family."""
-        return (self.representation.value, self.num_bits, self.num_hashes, self.k)
+        return (self.representation.value, self.num_bits, self.num_hashes, self.k, self.precision)
 
     def make_family(self, seed: int):
         """Instantiate the concrete :class:`~repro.sketches.base.SketchFamily`."""
@@ -98,6 +140,8 @@ class SketchParams:
             return KHashFamily(self.k, seed)
         if self.representation is Representation.ONEHASH:
             return BottomKFamily(self.k, seed)
+        if self.representation is Representation.HLL:
+            return HLLFamily(self.precision, seed)
         return KMVFamily(self.k, seed)
 
 
@@ -108,12 +152,14 @@ def resolve_sketch_params(
     num_hashes: int = 2,
     num_bits: int | None = None,
     k: int | None = None,
+    precision: int | None = None,
 ) -> SketchParams:
     """Resolve the generic budget knob ``s`` into concrete sketch parameters (§V-A).
 
     This is the single source of truth shared by :class:`ProbGraph` and the
-    engine session cache: explicit ``num_bits`` / ``k`` win over the budget,
-    otherwise the §V-A resolvers pick them from the graph's size.
+    engine session cache: explicit ``num_bits`` / ``k`` / ``precision`` win
+    over the budget, otherwise the §V-A resolvers pick them from the graph's
+    size.
     """
     representation = Representation.parse(representation)
     resolution: BudgetResolution | None = None
@@ -123,6 +169,12 @@ def resolve_sketch_params(
             num_bits = resolution.bits_per_vertex
         return SketchParams(
             representation, EstimatorKind.BF_AND, int(num_bits), int(num_hashes), None, resolution
+        )
+    if representation is Representation.HLL:
+        if precision is None:
+            precision, resolution = resolve_hll_precision(graph, float(storage_budget))
+        return SketchParams(
+            representation, EstimatorKind.HLL, None, None, None, resolution, int(precision)
         )
     if k is None:
         resolution = resolve_minhash_k(graph, float(storage_budget))
@@ -145,7 +197,8 @@ class ProbGraph:
     graph:
         The input CSR graph.
     representation:
-        Which sketch family to use (``"bloom"``, ``"khash"``, ``"1hash"``, ``"kmv"``).
+        Which sketch family to use (``"bloom"``, ``"khash"``, ``"1hash"``,
+        ``"kmv"``, ``"hll"``).
     storage_budget:
         The generic budget knob ``s ∈ (0, 1]`` of §V-A.  Ignored for a given
         parameter when ``num_bits`` / ``k`` is passed explicitly.
@@ -155,6 +208,9 @@ class ProbGraph:
         Explicit Bloom-filter length in bits (overrides the budget).
     k:
         Explicit MinHash / KMV sketch size (overrides the budget).
+    precision:
+        Explicit HyperLogLog register precision ``p`` — ``2**p`` registers per
+        neighborhood (overrides the budget).
     oriented:
         Sketch the degree-order oriented neighborhoods ``N+`` instead of the
         full neighborhoods ``N`` (what Listings 1–2 intersect).  Triangle- and
@@ -173,6 +229,7 @@ class ProbGraph:
         num_hashes: int = 2,
         num_bits: int | None = None,
         k: int | None = None,
+        precision: int | None = None,
         oriented: bool = False,
         seed: int = 0,
         estimator: EstimatorKind | str | None = None,
@@ -186,13 +243,18 @@ class ProbGraph:
         self._base = graph.oriented() if oriented else graph
 
         params = resolve_sketch_params(
-            graph, self.representation, self.storage_budget, self.num_hashes, num_bits, k
+            graph, self.representation, self.storage_budget, self.num_hashes, num_bits, k, precision
         )
         self.sketch_params = params
         self.family = params.make_family(self.seed)
         self.num_bits = params.num_bits
         self.k = params.k
-        self.estimator = EstimatorKind(estimator) if estimator is not None else params.default_estimator
+        self.precision = params.precision
+        self.estimator = (
+            check_estimator_kind(self.representation, estimator)
+            if estimator is not None
+            else params.default_estimator
+        )
         self.budget_resolution = params.resolution
 
         start = time.perf_counter()
@@ -237,7 +299,11 @@ class ProbGraph:
         estimator: EstimatorKind | str | None = None,
     ) -> np.ndarray:
         """Estimate ``|N_u ∩ N_v|`` for arrays of vertex pairs — the PG inner kernel."""
-        kind = EstimatorKind(estimator) if estimator is not None else self.estimator
+        kind = (
+            check_estimator_kind(self.representation, estimator)
+            if estimator is not None
+            else self.estimator
+        )
         if isinstance(self.sketches, BloomNeighborhoodSketches):
             return self.sketches.pair_intersections(u, v, estimator=kind)
         return self.sketches.pair_intersections(u, v)
@@ -256,7 +322,11 @@ class ProbGraph:
         resolving the estimator kwarg exactly like :meth:`pair_intersections`.
         The batch engine's sequential path runs through here.
         """
-        kind = EstimatorKind(estimator) if estimator is not None else self.estimator
+        kind = (
+            check_estimator_kind(self.representation, estimator)
+            if estimator is not None
+            else self.estimator
+        )
         if isinstance(self.sketches, BloomNeighborhoodSketches):
             return self.sketches.pair_intersections_chunked(u, v, max_chunk_pairs, estimator=kind)
         return self.sketches.pair_intersections_chunked(u, v, max_chunk_pairs)
@@ -369,12 +439,19 @@ class ProbGraph:
         if self.representation is Representation.BLOOM:
             params["num_bits"] = self.num_bits
             params["num_hashes"] = self.num_hashes
+        elif self.representation is Representation.HLL:
+            params["precision"] = self.precision
         else:
             params["k"] = self.k
         return params
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        detail = f"B={self.num_bits}, b={self.num_hashes}" if self.representation is Representation.BLOOM else f"k={self.k}"
+        if self.representation is Representation.BLOOM:
+            detail = f"B={self.num_bits}, b={self.num_hashes}"
+        elif self.representation is Representation.HLL:
+            detail = f"p={self.precision}"
+        else:
+            detail = f"k={self.k}"
         return (
             f"ProbGraph(n={self.num_vertices}, m={self.num_edges}, "
             f"representation={self.representation.value}, {detail}, s={self.storage_budget})"

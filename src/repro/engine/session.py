@@ -36,7 +36,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.estimators import EstimatorKind
-from ..core.probgraph import ProbGraph, Representation, resolve_sketch_params
+from ..core.probgraph import (
+    ProbGraph,
+    Representation,
+    check_estimator_kind,
+    resolve_sketch_params,
+)
 from ..graph.csr import CSRGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -103,6 +108,7 @@ class PGSession:
         num_hashes: int = 2,
         num_bits: int | None = None,
         k: int | None = None,
+        precision: int | None = None,
         oriented: bool = False,
         seed: int = 0,
         estimator: EstimatorKind | str | None = None,
@@ -118,7 +124,7 @@ class PGSession:
         reconstruction).
         """
         params = resolve_sketch_params(
-            graph, representation, storage_budget, num_hashes, num_bits, k
+            graph, representation, storage_budget, num_hashes, num_bits, k, precision
         )
         key = (graph.fingerprint(), params.key(), bool(oriented), int(seed))
         cached = self._cache.get(key)
@@ -137,7 +143,11 @@ class PGSession:
         if cached is not None:
             self._cache.move_to_end(key)
             self.stats.cache_hits += 1
-            wanted = EstimatorKind(estimator) if estimator is not None else params.default_estimator
+            wanted = (
+                check_estimator_kind(params.representation, estimator)
+                if estimator is not None
+                else params.default_estimator
+            )
             if wanted != cached.estimator:
                 view = copy.copy(cached)  # shares graph, family, and sketches
                 view.estimator = wanted
@@ -151,6 +161,7 @@ class PGSession:
             num_hashes=num_hashes,
             num_bits=params.num_bits,
             k=params.k,
+            precision=params.precision,
             oriented=oriented,
             seed=seed,
             estimator=estimator,
@@ -177,7 +188,7 @@ class PGSession:
         parameters are resolved against the graph a lookup passes in, so after
         the graph grows a ``storage_budget`` lookup may resolve to different
         concrete parameters than the patched entry carries; pass explicit
-        ``num_bits`` / ``k`` for stable keys across deltas.
+        ``num_bits`` / ``k`` / ``precision`` for stable keys across deltas.
         """
         old_fingerprint = delta.old_fingerprint
         new_fingerprint = delta.new_fingerprint

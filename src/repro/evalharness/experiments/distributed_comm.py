@@ -36,6 +36,7 @@ def run_distributed_comm(
                     "graph": name,
                     "partitions": parts,
                     "cut_edges": volume.cut_edges,
+                    "shipments": volume.shipments,
                     "csr_megabytes": round(volume.csr_bytes / 1e6, 4),
                     "sketch_megabytes": round(volume.sketch_bytes / 1e6, 4),
                     "reduction_factor": round(volume.reduction_factor, 2),

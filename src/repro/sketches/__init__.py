@@ -7,7 +7,7 @@ HyperLogLog families along with their per-set and whole-graph batch containers.
 from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
 from .bloom import BloomFamily, BloomFilter, BloomNeighborhoodSketches
 from .hashing import HashFamily, MultiplyShiftFamily, hash_to_range, hash_to_unit, hash_u64, splitmix64
-from .hll import HyperLogLog
+from .hll import HLL_REGISTER_BITS, HLLFamily, HLLNeighborhoodSketches, HyperLogLog
 from .kmv import KMVFamily, KMVNeighborhoodSketches, KMVSketch
 from .minhash import (
     BottomKFamily,
@@ -36,6 +36,9 @@ __all__ = [
     "KMVFamily",
     "KMVNeighborhoodSketches",
     "HyperLogLog",
+    "HLLFamily",
+    "HLLNeighborhoodSketches",
+    "HLL_REGISTER_BITS",
     "HashFamily",
     "MultiplyShiftFamily",
     "splitmix64",

@@ -20,7 +20,7 @@ from repro.sketches.bloom import BloomFamily
 from repro.sketches.kmv import KMVFamily
 from repro.sketches.minhash import BottomKFamily, KHashFamily
 
-REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv"]
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv", "hll"]
 
 #: Explicit sketch parameters so cache keys stay stable while the graph grows.
 EXPLICIT_PARAMS = {
@@ -28,6 +28,7 @@ EXPLICIT_PARAMS = {
     "khash": {"k": 8},
     "1hash": {"k": 8},
     "kmv": {"k": 8},
+    "hll": {"precision": 6},
 }
 
 
@@ -37,6 +38,8 @@ def _sketch_arrays(pg: ProbGraph) -> tuple[np.ndarray, np.ndarray]:
     payload = getattr(sk, "words", None)
     if payload is None:
         payload = getattr(sk, "signatures", None)
+    if payload is None:
+        payload = getattr(sk, "registers", None)
     if payload is None:
         payload = sk.values
     return payload, sk.exact_sizes

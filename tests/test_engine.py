@@ -44,7 +44,7 @@ from repro.engine import (
 from repro.graph import CSRGraph, kronecker_graph
 from repro.parallel import ParallelConfig
 
-REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv"]
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv", "hll"]
 
 
 @pytest.fixture(scope="module")

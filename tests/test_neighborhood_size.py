@@ -1,0 +1,76 @@
+"""Tests for the multi-hop ball-cardinality workload (HLL register propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import exact_multihop_cardinalities, multihop_cardinalities
+from repro.graph import CSRGraph, complete_graph, kronecker_graph, ring_graph
+
+
+class TestExactReference:
+    def test_ring_balls(self):
+        g = ring_graph(10)
+        assert np.array_equal(exact_multihop_cardinalities(g, hops=0), np.ones(10, dtype=np.int64))
+        assert np.array_equal(exact_multihop_cardinalities(g, hops=1), np.full(10, 3))
+        assert np.array_equal(exact_multihop_cardinalities(g, hops=2), np.full(10, 5))
+
+    def test_complete_graph_saturates(self):
+        g = complete_graph(6)
+        assert np.array_equal(exact_multihop_cardinalities(g, hops=1), np.full(6, 6))
+        assert np.array_equal(exact_multihop_cardinalities(g, hops=3), np.full(6, 6))
+
+    def test_negative_hops_rejected(self):
+        g = ring_graph(5)
+        with pytest.raises(ValueError):
+            exact_multihop_cardinalities(g, hops=-1)
+        with pytest.raises(ValueError):
+            multihop_cardinalities(g, hops=-1, precision=5)
+
+
+class TestHLLPropagation:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return kronecker_graph(scale=9, edge_factor=8, seed=2)
+
+    def test_zero_hops_all_ones(self, graph):
+        # Linear counting estimates a 1-element set as m*log(m/(m-1)) ~ 1.002.
+        result = multihop_cardinalities(graph, hops=0, precision=8, seed=1)
+        np.testing.assert_allclose(result.cardinalities, 1.0, rtol=0.01)
+
+    def test_single_hop_matches_degrees(self, graph):
+        result = multihop_cardinalities(graph, hops=1, precision=10, seed=1)
+        exact = exact_multihop_cardinalities(graph, hops=1)
+        rel = np.abs(result.cardinalities - exact) / exact
+        assert rel.mean() < 0.05
+
+    @pytest.mark.parametrize("hops", [2, 3])
+    def test_multihop_accuracy_within_hll_band(self, graph, hops):
+        result = multihop_cardinalities(graph, hops=hops, precision=10, seed=4)
+        exact = exact_multihop_cardinalities(graph, hops=hops)
+        rel = np.abs(result.cardinalities - exact) / np.maximum(exact, 1)
+        # 2x slack over the 1.04/sqrt(m) single-sketch band.
+        assert rel.mean() < 2 * 1.04 / np.sqrt(1 << result.precision)
+
+    def test_estimates_stay_in_feasible_interval(self, graph):
+        # Tiny precision = large noise; the clamp must keep every estimate in
+        # [min(1 + deg, n), n].
+        result = multihop_cardinalities(graph, hops=3, precision=4, seed=0)
+        n = graph.num_vertices
+        lower = np.minimum(1.0 + graph.degrees, float(n))
+        assert np.all(result.cardinalities >= lower)
+        assert np.all(result.cardinalities <= n)
+
+    def test_deterministic_given_seed_and_chunking(self, graph):
+        a = multihop_cardinalities(graph, hops=2, precision=8, seed=9)
+        b = multihop_cardinalities(graph, hops=2, precision=8, seed=9, memory_budget_bytes=1 << 12)
+        assert np.array_equal(a.cardinalities, b.cardinalities)
+
+    def test_budget_resolution_and_metadata(self, graph):
+        result = multihop_cardinalities(graph, hops=1, storage_budget=0.25, seed=1)
+        assert result.storage_bits == graph.num_vertices * result.bits_per_vertex
+        assert result.hops == 1 and result.seconds >= 0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_vertices=0)
+        assert multihop_cardinalities(g, hops=2, precision=5).cardinalities.shape == (0,)
+        assert exact_multihop_cardinalities(g, hops=2).shape == (0,)

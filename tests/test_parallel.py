@@ -172,6 +172,16 @@ class TestDistributedModel:
         assert volume.cut_edges > 0
         assert volume.reduction_factor > 0
 
+    def test_shipments_deduped_per_vertex_partition_pair(self, kron_small):
+        volume = communication_volume(kron_small, 4, sketch_bits_per_vertex=512, seed=1)
+        # One shipment per (vertex, remote partition): never more than the cut
+        # edges, never more than the 4-partition ceiling per vertex, and on a
+        # skewed Kronecker graph strictly fewer than one-per-cut-edge.
+        assert 0 < volume.shipments < volume.cut_edges
+        assert volume.shipments <= 3 * kron_small.num_vertices
+        # Both schemes charge exactly one representation per shipment.
+        assert volume.sketch_bytes == volume.shipments * 512 / 8.0
+
     def test_smaller_sketches_reduce_more(self, kron_small):
         small = communication_volume(kron_small, 4, sketch_bits_per_vertex=256, seed=1)
         large = communication_volume(kron_small, 4, sketch_bits_per_vertex=4096, seed=1)

@@ -53,6 +53,8 @@ class TestRepresentationParsing:
             ("khash", Representation.KHASH),
             ("k-hash", Representation.KHASH),
             ("kmv", Representation.KMV),
+            ("hll", Representation.HLL),
+            ("hyperloglog", Representation.HLL),
         ],
     )
     def test_aliases(self, alias, expected):

@@ -21,7 +21,7 @@ from repro.graph import CSRGraph
 
 NUM_VERTICES = 48
 
-REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv"]
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv", "hll"]
 
 #: Explicit sketch parameters (budget resolution depends on the graph size,
 #: which changes under the stream; explicit params pin the sketch family).
@@ -30,6 +30,7 @@ EXPLICIT_PARAMS = {
     "khash": {"k": 6},
     "1hash": {"k": 6},
     "kmv": {"k": 6},
+    "hll": {"precision": 5},
 }
 
 edge_lists = st.lists(
@@ -44,7 +45,7 @@ edge_lists = st.lists(
 
 def _payload(pg: ProbGraph) -> np.ndarray:
     sk = pg.sketches
-    for attr in ("words", "signatures", "values"):
+    for attr in ("words", "signatures", "registers", "values"):
         if hasattr(sk, attr):
             return getattr(sk, attr)
     raise AssertionError("unknown sketch container")
