@@ -43,6 +43,7 @@ from .algorithms import (
     evaluate_link_prediction,
     four_clique_count,
     jarvis_patrick_clustering,
+    knn_graph,
     local_clustering_coefficients,
     multihop_cardinalities,
     similarity,
@@ -52,7 +53,7 @@ from .algorithms import (
 )
 from .core import EstimatorKind, ProbGraph, Representation, estimate_triangles
 from .dynamic import DynamicGraph, EdgeBatch, EdgeStream, GraphDelta
-from .engine import EngineConfig, PGSession
+from .engine import EngineConfig, PGSession, TopKResult, topk_pair_scores, topk_per_source
 from .graph import CSRGraph, kronecker_graph, load_dataset
 
 __version__ = "1.1.0"
@@ -80,6 +81,10 @@ __all__ = [
     "evaluate_link_prediction",
     "local_clustering_coefficients",
     "multihop_cardinalities",
+    "knn_graph",
+    "TopKResult",
+    "topk_pair_scores",
+    "topk_per_source",
     "kronecker_graph",
     "load_dataset",
 ]

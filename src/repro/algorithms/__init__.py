@@ -8,6 +8,7 @@ from .cohesion import (
     local_clustering_coefficients,
     network_cohesion,
 )
+from .knn import KNNGraphResult, knn_graph
 from .link_prediction import (
     LinkPredictionResult,
     candidate_pairs,
@@ -49,6 +50,8 @@ __all__ = [
     "evaluate_link_prediction",
     "split_edges",
     "candidate_pairs",
+    "KNNGraphResult",
+    "knn_graph",
     "network_cohesion",
     "clustering_coefficient",
     "global_transitivity",

@@ -23,6 +23,7 @@ from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph, Representation
 from ..engine.batch import EngineConfig
 from ..engine.session import PGSession
+from ..engine.topk import topk_pair_scores
 from ..graph.csr import CSRGraph
 from .similarity import SimilarityMeasure, similarity_scores
 
@@ -149,11 +150,22 @@ def evaluate_link_prediction(
         )
     else:
         scorer = sparse
-    scores = similarity_scores(scorer, pairs, measure=measure, estimator=estimator, config=config)
 
+    # Select the top-scoring candidates through the engine's streaming top-k
+    # reduction: each chunk of the candidate list is scored and folded into an
+    # O(k) running selection, so the full candidate score array is never
+    # materialized (the candidate list can exceed the graph by orders of
+    # magnitude).  Ties resolve canonically (score desc, candidate position asc).
     num_predictions = min(num_holdout, pairs.shape[0])
-    top = np.argsort(scores)[::-1][:num_predictions]
-    predicted = pairs[top]
+
+    def score_chunk(u_chunk: np.ndarray, v_chunk: np.ndarray) -> np.ndarray:
+        chunk_pairs = np.stack([u_chunk, v_chunk], axis=1)
+        return similarity_scores(scorer, chunk_pairs, measure=measure, estimator=estimator, config=config)
+
+    top = topk_pair_scores(
+        scorer, pairs[:, 0], pairs[:, 1], num_predictions, score=score_chunk, config=config
+    )
+    predicted = pairs[top.indices]
 
     n = graph.num_vertices
     predicted_keys = predicted[:, 0] * n + predicted[:, 1]

@@ -17,7 +17,7 @@ from enum import Enum
 
 import numpy as np
 
-from ..core.estimators import EstimatorKind
+from ..core.estimators import EstimatorKind, intersection_to_jaccard
 from ..core.probgraph import ProbGraph
 from ..engine.batch import EngineConfig, batched_pair_intersections
 from ..graph.csr import CSRGraph
@@ -68,11 +68,20 @@ def _pair_intersections(
     """Return (intersections, deg_u, deg_v) for the pairs, exact or estimated.
 
     ProbGraph inputs stream through the batch engine (memory-bounded chunks,
-    optional thread fan-out via ``config``).
+    optional thread fan-out via ``config``).  Degrees come from the *sketched
+    base* (:attr:`~repro.core.ProbGraph.base_degrees`): on an oriented
+    ProbGraph the sketches hold ``N+``, so using the full graph's degrees
+    would make ``similarity_scores`` disagree with ``ProbGraph.jaccard`` and
+    ``session.pair_jaccard`` on the very same pairs.  This applies uniformly
+    to *every* degree term — a ProbGraph models its base's neighborhoods, so
+    all measures (including pure-degree ones like preferential attachment)
+    are evaluated over that base; pass an unoriented ProbGraph (or the
+    CSRGraph) for full-neighborhood semantics, as similarity workloads
+    normally do.
     """
     if isinstance(graph, ProbGraph):
         inter = batched_pair_intersections(graph, u, v, estimator=estimator, config=config)
-        degs = graph.graph.degrees
+        degs = graph.base_degrees
     elif isinstance(graph, CSRGraph):
         inter = graph.common_neighbors_pairs(u, v).astype(np.float64)
         degs = graph.degrees
@@ -138,9 +147,7 @@ def similarity_scores(
         out = np.divide(inter, denom, out=np.zeros_like(inter), where=denom > 0)
         return np.clip(out, 0.0, 1.0)
     if measure is SimilarityMeasure.JACCARD:
-        denom = du + dv - inter
-        out = np.divide(inter, denom, out=np.zeros_like(inter), where=denom > 0)
-        return np.clip(out, 0.0, 1.0)
+        return intersection_to_jaccard(inter, du, dv)
     raise ValueError(f"unhandled similarity measure {measure}")  # pragma: no cover
 
 

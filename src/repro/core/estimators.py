@@ -47,6 +47,7 @@ __all__ = [
     "minhash_jaccard",
     "minhash_intersection",
     "jaccard_to_intersection",
+    "intersection_to_jaccard",
     "kmv_size",
     "kmv_intersection",
     "kmv_intersection_exact_sizes",
@@ -209,6 +210,22 @@ def minhash_intersection(
 ) -> np.ndarray | float:
     """``|X∩Y|^{kH}`` / ``|X∩Y|^{1H}`` — Eq. (5) applied to a MinHash Jaccard estimate."""
     return jaccard_to_intersection(minhash_jaccard(matches, k), size_x, size_y)
+
+
+def intersection_to_jaccard(
+    intersections: np.ndarray, size_x: np.ndarray, size_y: np.ndarray
+) -> np.ndarray:
+    """``J = |X∩Y| / (|X| + |Y| - |X∩Y|)``, zero-guarded and clipped to ``[0, 1]``.
+
+    The single shared Jaccard-from-intersections formula: ``ProbGraph.jaccard``,
+    the engine's ``batched_pair_jaccard``, the top-k ``"jaccard"`` score, and
+    ``algorithms.similarity`` all evaluate through here, so the estimate and
+    the degree semantics cannot drift between paths (they once did).
+    """
+    inter = np.asarray(intersections, dtype=np.float64)
+    union = np.asarray(size_x, dtype=np.float64) + np.asarray(size_y, dtype=np.float64) - inter
+    out = np.divide(inter, union, out=np.zeros_like(inter), where=union > 0)
+    return np.clip(out, 0.0, 1.0)
 
 
 def kmv_size(kth_smallest_hash: np.ndarray | float, k: int) -> np.ndarray | float:

@@ -32,7 +32,7 @@ from ..sketches.hll import HLLFamily
 from ..sketches.kmv import KMVFamily
 from ..sketches.minhash import BottomKFamily, KHashFamily
 from .budget import BudgetResolution, resolve_bloom_bits, resolve_hll_precision, resolve_minhash_k
-from .estimators import EstimatorKind
+from .estimators import EstimatorKind, intersection_to_jaccard
 
 __all__ = [
     "Representation",
@@ -276,6 +276,20 @@ class ProbGraph:
         return self.graph.num_edges
 
     @property
+    def base_degrees(self) -> np.ndarray:
+        """Degrees of the **sketched base**: ``|N+_v|`` when oriented, ``|N_v|`` otherwise.
+
+        Every Jaccard-style union denominator must use these degrees — the
+        sketches represent the base's neighborhoods, so mixing in the full
+        graph's degrees on an oriented ProbGraph silently changes the measure
+        (``int / (d_u + d_v - int)`` with mismatched ``d``).  This is the
+        single public source of the degree-semantics contract shared by
+        :meth:`jaccard`, the engine's ``batched_pair_jaccard``, and
+        ``algorithms.similarity``.
+        """
+        return self._base.degrees
+
+    @property
     def sketch_storage_bits(self) -> int:
         """Total storage of all neighborhood sketches."""
         return self.sketches.total_storage_bits
@@ -336,10 +350,7 @@ class ProbGraph:
         inter = self.int_card(u, v, estimator=estimator)
         du = float(self._base.degree(u))
         dv = float(self._base.degree(v))
-        union = du + dv - inter
-        if union <= 0:
-            return 0.0
-        return float(np.clip(inter / union, 0.0, 1.0))
+        return float(intersection_to_jaccard(np.asarray([inter]), du, dv)[0])
 
     def neighborhood_cardinalities(self) -> np.ndarray:
         """Estimated (or exact, for MinHash) ``|N_v|`` for every vertex."""

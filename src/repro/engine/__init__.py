@@ -11,6 +11,9 @@ This package is the execution layer between the sketch containers
   :func:`sum_pair_intersections` / :func:`scatter_add_pair_intersections`
   stream arbitrary-length pair lists through fixed-size, memory-bounded chunks
   (optionally fanned out over the :mod:`repro.parallel` thread pool);
+* :func:`topk_pair_scores` / :func:`topk_per_source` keep an ``O(k)`` running
+  selection over streamed pair scores (top-k retrieval — the serving and
+  link-prediction query shape — without materializing the score array);
 * :func:`engine_stats` exposes process-wide activity counters so the engine
   path is observable.
 
@@ -33,6 +36,7 @@ from .batch import (
     sum_pair_intersections,
 )
 from .session import PGSession, SessionStats, default_session
+from .topk import TopKResult, materialized_topk, topk_pair_scores, topk_per_source
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
@@ -40,8 +44,10 @@ __all__ = [
     "EngineStats",
     "PGSession",
     "SessionStats",
+    "TopKResult",
     "default_session",
     "engine_stats",
+    "materialized_topk",
     "record_patch",
     "reset_engine_stats",
     "resolve_chunk_pairs",
@@ -50,4 +56,6 @@ __all__ = [
     "batched_pair_jaccard",
     "sum_pair_intersections",
     "scatter_add_pair_intersections",
+    "topk_pair_scores",
+    "topk_per_source",
 ]

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.estimators import EstimatorKind
+from ..core.estimators import EstimatorKind, intersection_to_jaccard
 from ..core.probgraph import ProbGraph
 from ..parallel.executor import ParallelConfig, chunked_ranges, parallel_edge_map
 
@@ -42,6 +42,8 @@ __all__ = [
     "engine_stats",
     "reset_engine_stats",
     "record_patch",
+    "record_query",
+    "record_topk",
     "resolve_chunk_pairs",
     "iter_pair_chunks",
     "batched_pair_intersections",
@@ -108,10 +110,14 @@ class EngineStats:
     pairs: int = 0
     patches: int = 0
     patched_rows: int = 0
+    topk_queries: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy (the module-level instance keeps mutating)."""
-        return EngineStats(self.queries, self.chunks, self.pairs, self.patches, self.patched_rows)
+        return EngineStats(
+            self.queries, self.chunks, self.pairs, self.patches, self.patched_rows,
+            self.topk_queries,
+        )
 
 
 _STATS = EngineStats()
@@ -129,12 +135,30 @@ def reset_engine_stats() -> None:
     _STATS.pairs = 0
     _STATS.patches = 0
     _STATS.patched_rows = 0
+    _STATS.topk_queries = 0
 
 
 def record_patch(rows_touched: int) -> None:
     """Account one dynamic-delta application that patched ``rows_touched`` sketch rows."""
     _STATS.patches += 1
     _STATS.patched_rows += int(rows_touched)
+
+
+def record_query(pairs: int, chunks: int) -> None:
+    """Account one batched query whose chunk loop lives outside this module.
+
+    The top-k per-source reduction streams candidate *windows* rather than
+    flat pair slices, so it reports its own pair/chunk totals here instead of
+    going through :func:`iter_pair_chunks`.
+    """
+    _STATS.queries += 1
+    _STATS.pairs += int(pairs)
+    _STATS.chunks += int(chunks)
+
+
+def record_topk() -> None:
+    """Account one streaming top-k retrieval (see :mod:`repro.engine.topk`)."""
+    _STATS.topk_queries += 1
 
 
 def resolve_chunk_pairs(sketches, config: EngineConfig | None = None) -> int:
@@ -224,10 +248,8 @@ def batched_pair_jaccard(
         _STATS.queries += 1
         return np.empty(0, dtype=np.float64)
     inter = batched_pair_intersections(pg, u, v, estimator=estimator, config=config)
-    degrees = pg._base.degrees.astype(np.float64)
-    union = degrees[u] + degrees[v] - inter
-    out = np.divide(inter, union, out=np.zeros_like(inter), where=union > 0)
-    return np.clip(out, 0.0, 1.0)
+    degrees = pg.base_degrees.astype(np.float64)
+    return intersection_to_jaccard(inter, degrees[u], degrees[v])
 
 
 def sum_pair_intersections(

@@ -53,6 +53,7 @@ from .batch import (
     record_patch,
     sum_pair_intersections,
 )
+from .topk import TopKResult, topk_per_source
 
 __all__ = ["PGSession", "SessionStats", "default_session"]
 
@@ -253,6 +254,51 @@ class PGSession:
     ) -> float:
         """Streaming ``Σ |N_u ∩ N_v|`` reduction (never materializes all estimates)."""
         return sum_pair_intersections(pg, u, v, estimator=estimator, config=config or self.config)
+
+    def top_k_similar(
+        self,
+        pg: ProbGraph,
+        u: int,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        config: EngineConfig | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` most similar vertices to ``u`` — the serving retrieval query.
+
+        Streams the candidate set (default: all vertices, excluding ``u``)
+        through the engine's top-k reduction (:mod:`repro.engine.topk`): only
+        an ``O(k)`` running selection is kept, never the full score array.
+        Returns ``(vertices, scores)`` in canonical order (score descending,
+        vertex ID ascending on ties); ``measure`` is ``"jaccard"`` or
+        ``"intersection"``/``"common_neighbors"``.
+        """
+        result = topk_per_source(
+            pg, np.asarray([u], dtype=np.int64), k, candidates=candidates,
+            score=measure, estimator=estimator, config=config or self.config,
+        )
+        return result.indices[0], result.scores[0]
+
+    def top_k_similar_batch(
+        self,
+        pg: ProbGraph,
+        sources: np.ndarray,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        config: EngineConfig | None = None,
+    ) -> "TopKResult":
+        """Batched :meth:`top_k_similar` for many sources in one streamed pass.
+
+        Returns a :class:`~repro.engine.topk.TopKResult` holding
+        ``(len(sources), k)`` candidate-ID and score arrays (``-1`` padded).
+        """
+        return topk_per_source(
+            pg, sources, k, candidates=candidates, score=measure,
+            estimator=estimator, config=config or self.config,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -54,13 +54,30 @@ def measure(fn: Callable, *args, repeat: int = 1, **kwargs) -> Measurement:
     return Measurement(value, best)
 
 
+#: Exhaustive representation → Table IV cost-model mapping (one scheme per family).
+_SCHEME_FOR_REPRESENTATION = {
+    Representation.BLOOM: Scheme.BLOOM,
+    Representation.KHASH: Scheme.KHASH,
+    Representation.ONEHASH: Scheme.ONEHASH,
+    Representation.KMV: Scheme.KMV,
+    Representation.HLL: Scheme.HLL,
+}
+
+
 def pg_scheme_for(pg: ProbGraph) -> Scheme:
-    """Map a ProbGraph representation onto the work-depth scheme it corresponds to."""
-    if pg.representation is Representation.BLOOM:
-        return Scheme.BLOOM
-    if pg.representation is Representation.KHASH:
-        return Scheme.KHASH
-    return Scheme.ONEHASH
+    """Map a ProbGraph representation onto the work-depth scheme it corresponds to.
+
+    The mapping is exhaustive over the five shipped families and *raises* on
+    anything else — silently falling back to another family's cost model
+    (as this function once did for KMV and HLL) makes every simulated speedup
+    built on it quietly wrong.
+    """
+    scheme = _SCHEME_FOR_REPRESENTATION.get(pg.representation)
+    if scheme is None:
+        raise ValueError(
+            f"no work-depth scheme is defined for representation {pg.representation!r}"
+        )
+    return scheme
 
 
 def simulated_speedup(
@@ -80,6 +97,7 @@ def simulated_speedup(
         num_bits=pg.num_bits or 1024,
         k=pg.k or 16,
         num_hashes=pg.num_hashes,
+        precision=pg.precision or 12,
         include_construction=False,
     )
     return exact_time / pg_time if pg_time > 0 else float("inf")

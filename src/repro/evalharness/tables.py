@@ -16,8 +16,13 @@ from ..parallel.workdepth import Scheme, algorithm_cost, construction_cost, inte
 __all__ = ["table4_intersection", "table5_construction", "table6_algorithms", "table7_tc_estimators"]
 
 
-def table4_intersection(graph: CSRGraph, num_bits: int = 1024, k: int = 16) -> list[dict]:
-    """Table IV: work/depth of one ``|N_u ∩ N_v|`` for average-degree neighborhoods."""
+def table4_intersection(graph: CSRGraph, num_bits: int = 1024, k: int = 16, precision: int = 12) -> list[dict]:
+    """Table IV: work/depth of one ``|N_u ∩ N_v|`` for average-degree neighborhoods.
+
+    Extended past the paper's five rows with the KMV and HLL families this
+    repository also ships, so every representation a ProbGraph can carry has a
+    cost-model row.
+    """
     d = max(graph.average_degree, 1.0)
     rows = []
     labels = {
@@ -26,9 +31,11 @@ def table4_intersection(graph: CSRGraph, num_bits: int = 1024, k: int = 16) -> l
         Scheme.BLOOM: "BF",
         Scheme.KHASH: "k-Hash",
         Scheme.ONEHASH: "1-Hash",
+        Scheme.KMV: "KMV",
+        Scheme.HLL: "HLL",
     }
     for scheme, label in labels.items():
-        wd = intersection_cost(scheme, d, d, num_bits=num_bits, k=k)
+        wd = intersection_cost(scheme, d, d, num_bits=num_bits, k=k, precision=precision)
         rows.append(
             {
                 "scheme": label,
@@ -40,6 +47,8 @@ def table4_intersection(graph: CSRGraph, num_bits: int = 1024, k: int = 16) -> l
                     Scheme.BLOOM: "O(B / W)",
                     Scheme.KHASH: "O(k)",
                     Scheme.ONEHASH: "O(k)",
+                    Scheme.KMV: "O(k)",
+                    Scheme.HLL: "O(2^p / W)",
                 }[scheme],
             }
         )
@@ -53,6 +62,8 @@ def table5_construction(graph: CSRGraph, num_bits: int = 1024, num_hashes: int =
         (Scheme.BLOOM, "BF", f"{num_bits} bits", "O(b dv)", "O(log(b dv))"),
         (Scheme.KHASH, "k-Hash", f"{k} words", "O(k dv)", "O(log dv)"),
         (Scheme.ONEHASH, "1-Hash", f"{k} words", "O(dv)", "O(log dv)"),
+        (Scheme.KMV, "KMV", f"{k} words", "O(dv)", "O(log dv)"),
+        (Scheme.HLL, "HLL", "2^p registers", "O(dv)", "O(log dv)"),
     ]
     for scheme, label, size, asym_work, asym_depth in specs:
         wd = construction_cost(scheme, graph.degrees, num_hashes=num_hashes, k=k)

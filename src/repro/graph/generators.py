@@ -93,7 +93,6 @@ def erdos_renyi_graph(n: int, p: float | None = None, m: int | None = None, seed
             stop = min(start + block, n)
             rows = np.arange(start, stop)
             mask = rng.random((stop - start, n)) < p
-            tri = np.triu(np.ones((stop - start, n), dtype=bool), k=1)[:, :]
             # only keep columns > row index
             col_idx = np.arange(n)[None, :]
             upper = col_idx > rows[:, None]

@@ -57,17 +57,30 @@ def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
 
 
 def read_metis(path: str | os.PathLike) -> CSRGraph:
-    """Read a METIS adjacency file (1-indexed neighbor lists, header ``n m``)."""
+    """Read a METIS adjacency file (1-indexed neighbor lists, header ``n m``).
+
+    A *blank* adjacency line is a vertex with no neighbors — isolated
+    vertices are part of the format, so blank lines are preserved when
+    splitting (dropping them shifts every later vertex's neighborhood and
+    breaks the :func:`write_metis` round-trip).  Only ``%`` comment lines,
+    blank lines before the header, and trailing blank lines beyond the
+    declared vertex count are skipped.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        lines = [ln.strip() for ln in fh if ln.strip() and not ln.lstrip().startswith("%")]
+        lines = [ln.strip() for ln in fh.read().splitlines() if not ln.lstrip().startswith("%")]
+    while lines and not lines[0]:
+        lines.pop(0)
     if not lines:
         raise ValueError("empty METIS file")
     header = lines[0].split()
     n = int(header[0])
+    adjacency = lines[1:]
+    while len(adjacency) > n and not adjacency[-1]:
+        adjacency.pop()
     edges = []
-    if len(lines) - 1 != n:
-        raise ValueError(f"METIS file declares {n} vertices but has {len(lines) - 1} adjacency lines")
-    for v, line in enumerate(lines[1:]):
+    if len(adjacency) != n:
+        raise ValueError(f"METIS file declares {n} vertices but has {len(adjacency)} adjacency lines")
+    for v, line in enumerate(adjacency):
         for token in line.split():
             u = int(token) - 1
             if u < 0 or u >= n:

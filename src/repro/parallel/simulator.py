@@ -99,6 +99,7 @@ def simulate_algorithm_runtime(
     num_bits: int = 1024,
     k: int = 16,
     num_hashes: int = 2,
+    precision: int = 12,
     include_construction: bool = True,
     scheduling: str = "static",
     seconds_per_op: float = 1e-8,
@@ -111,7 +112,7 @@ def simulate_algorithm_runtime(
     observation that construction is not a bottleneck.
     """
     scheme = Scheme(scheme)
-    per_edge = intersection_costs_per_edge(graph, scheme, num_bits=num_bits, k=k)
+    per_edge = intersection_costs_per_edge(graph, scheme, num_bits=num_bits, k=k, precision=precision)
     schedule = simulate_schedule(per_edge, num_workers, scheduling=scheduling)
     total = schedule.makespan
     if include_construction:
@@ -127,6 +128,7 @@ def simulate_strong_scaling(
     num_bits: int = 1024,
     k: int = 16,
     num_hashes: int = 2,
+    precision: int = 12,
     scheduling: str = "static",
     seconds_per_op: float = 1e-8,
 ) -> dict[int, float]:
@@ -140,6 +142,7 @@ def simulate_strong_scaling(
             num_bits=num_bits,
             k=k,
             num_hashes=num_hashes,
+            precision=precision,
             scheduling=scheduling,
             seconds_per_op=seconds_per_op,
         )

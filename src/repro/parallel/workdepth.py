@@ -37,13 +37,23 @@ __all__ = [
 
 
 class Scheme(str, Enum):
-    """Set-intersection schemes compared in Table IV."""
+    """Set-intersection schemes compared in Table IV.
+
+    ``KMV`` and ``HLL`` extend the paper's table to the two extra families
+    this repository ships: KMV intersects like the other value sketches
+    (inclusion–exclusion over ``k`` retained hashes, ``O(k)``), while HLL
+    evaluates register-wise over all ``2^p`` packed registers
+    (``O(2^p / W)`` words — same shape as the Bloom row, sized by
+    ``precision`` instead of ``num_bits``).
+    """
 
     CSR_MERGE = "csr_merge"
     CSR_GALLOPING = "csr_galloping"
     BLOOM = "bloom"
     KHASH = "khash"
     ONEHASH = "1hash"
+    KMV = "kmv"
+    HLL = "hll"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -75,6 +85,7 @@ def intersection_cost(
     deg_v: float,
     num_bits: int = 1024,
     k: int = 16,
+    precision: int = 12,
 ) -> WorkDepth:
     """Work/depth of one ``|N_u ∩ N_v|`` evaluation — the rows of Table IV."""
     scheme = Scheme(scheme)
@@ -89,16 +100,21 @@ def intersection_cost(
         words = max(num_bits // WORD_BITS, 1)
         work = float(words)
         depth = _log2(words)
-    elif scheme in (Scheme.KHASH, Scheme.ONEHASH):
+    elif scheme in (Scheme.KHASH, Scheme.ONEHASH, Scheme.KMV):
         work = float(k)
         depth = _log2(k)
+    elif scheme is Scheme.HLL:
+        # 2^p packed 6-bit registers, reduced word-wise like the Bloom row.
+        words = max((6 << precision) // WORD_BITS, 1)
+        work = float(words)
+        depth = _log2(words)
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown scheme {scheme}")
     return WorkDepth(max(work, 1.0), max(depth, 1.0))
 
 
 def intersection_costs_per_edge(
-    graph: CSRGraph, scheme: Scheme | str, num_bits: int = 1024, k: int = 16
+    graph: CSRGraph, scheme: Scheme | str, num_bits: int = 1024, k: int = 16, precision: int = 12
 ) -> np.ndarray:
     """Vectorized per-edge intersection work for every edge of ``graph``.
 
@@ -121,6 +137,9 @@ def intersection_costs_per_edge(
     if scheme is Scheme.BLOOM:
         words = max(num_bits // WORD_BITS, 1)
         return np.full(edges.shape[0], float(words))
+    if scheme is Scheme.HLL:
+        words = max((6 << precision) // WORD_BITS, 1)
+        return np.full(edges.shape[0], float(words))
     return np.full(edges.shape[0], float(k))
 
 
@@ -131,7 +150,8 @@ def construction_cost(
 
     * Bloom filter of ``N_v``: ``O(b d_v)`` work, ``O(log(b d_v))`` depth.
     * k-hash: ``O(k d_v)`` work, ``O(log d_v)`` depth.
-    * 1-hash: ``O(d_v)`` work, ``O(log d_v)`` depth.
+    * 1-hash / KMV / HLL: one hash pass per element — ``O(d_v)`` work,
+      ``O(log d_v)`` depth.
     CSR itself needs no construction (cost zero) in this accounting.
     """
     scheme = Scheme(scheme)
@@ -145,7 +165,7 @@ def construction_cost(
         return WorkDepth(float(num_hashes * degs.sum()), _log2(num_hashes * max_deg))
     if scheme is Scheme.KHASH:
         return WorkDepth(float(k * degs.sum()), _log2(max_deg))
-    if scheme is Scheme.ONEHASH:
+    if scheme in (Scheme.ONEHASH, Scheme.KMV, Scheme.HLL):
         return WorkDepth(float(degs.sum()), _log2(max_deg))
     raise ValueError(f"unknown scheme {scheme}")  # pragma: no cover
 
@@ -156,6 +176,7 @@ def algorithm_cost(
     scheme: Scheme | str,
     num_bits: int = 1024,
     k: int = 16,
+    precision: int = 12,
 ) -> WorkDepth:
     """Work/depth of a full PG-enhanced (or exact CSR) algorithm — Table VI.
 
@@ -166,10 +187,10 @@ def algorithm_cost(
     4-clique multiplies the per-edge work by the average candidate-set size.
     """
     scheme = Scheme(scheme)
-    per_edge = intersection_costs_per_edge(graph, scheme, num_bits=num_bits, k=k)
+    per_edge = intersection_costs_per_edge(graph, scheme, num_bits=num_bits, k=k, precision=precision)
     if per_edge.size == 0:
         return WorkDepth(0.0, 0.0)
-    one = intersection_cost(scheme, graph.average_degree, graph.average_degree, num_bits, k)
+    one = intersection_cost(scheme, graph.average_degree, graph.average_degree, num_bits, k, precision)
     if algorithm in ("triangle_count", "clustering"):
         return WorkDepth(float(per_edge.sum()), one.depth)
     if algorithm == "vertex_similarity":

@@ -149,6 +149,33 @@ def test_sum_and_scatter_match_materialized(graph, pair_arrays):
     np.testing.assert_allclose(out, expect)
 
 
+def test_oriented_jaccard_parity_across_all_paths():
+    """Regression: on an oriented ProbGraph, `similarity_scores(..., "jaccard")`
+    used the full graph's degrees while `ProbGraph.jaccard` and
+    `session.pair_jaccard` used the sketched base's (oriented) degrees — the
+    three paths returned different numbers for the same pairs (e.g. 0.204 vs
+    0.127 on this exact workload).  All must agree on `base_degrees` now."""
+    from repro.algorithms import similarity_scores
+
+    g = kronecker_graph(scale=6, edge_factor=6, seed=0)
+    pg = ProbGraph(g, representation="bloom", storage_budget=0.3, seed=1, oriented=True)
+    pairs = np.asarray([[1, 5], [3, 7]], dtype=np.int64)
+    session = PGSession()
+    scalar = np.asarray([pg.jaccard(int(a), int(b)) for a, b in pairs])
+    batch = session.pair_jaccard(pg, pairs[:, 0], pairs[:, 1])
+    scores = similarity_scores(pg, pairs, measure="jaccard")
+    np.testing.assert_allclose(batch, scalar)
+    np.testing.assert_allclose(scores, scalar)
+
+
+def test_base_degrees_match_orientation(graph):
+    full = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3)
+    oriented = ProbGraph(graph, representation="bloom", storage_budget=0.25, seed=3, oriented=True)
+    assert np.array_equal(full.base_degrees, graph.degrees)
+    assert np.array_equal(oriented.base_degrees, graph.oriented().degrees)
+    assert int(oriented.base_degrees.sum()) == graph.num_edges  # N+ partitions each edge once
+
+
 def test_batched_jaccard_matches_scalar(graph):
     pg = ProbGraph(graph, representation="1hash", storage_budget=0.25, seed=3)
     rng = np.random.default_rng(5)

@@ -96,6 +96,41 @@ class TestRunner:
         pg = ProbGraph(kron_small, "bloom", 0.25, seed=1)
         assert simulated_speedup(kron_small, pg, num_workers=32) > 1.0
 
+    def test_pg_scheme_for_every_representation(self, kron_small):
+        """Regression: KMV and HLL were silently mis-mapped to the 1-hash cost model."""
+        from repro.evalharness.runner import pg_scheme_for
+        from repro.parallel.workdepth import Scheme
+
+        expected = {
+            "bloom": Scheme.BLOOM,
+            "khash": Scheme.KHASH,
+            "1hash": Scheme.ONEHASH,
+            "kmv": Scheme.KMV,
+            "hll": Scheme.HLL,
+        }
+        for representation, scheme in expected.items():
+            pg = ProbGraph(kron_small, representation, 0.25, seed=1)
+            assert pg_scheme_for(pg) is scheme
+
+    def test_pg_scheme_for_raises_on_unknown_representation(self):
+        from types import SimpleNamespace
+
+        from repro.evalharness.runner import pg_scheme_for
+
+        with pytest.raises(ValueError, match="no work-depth scheme"):
+            pg_scheme_for(SimpleNamespace(representation="cuckoo"))
+
+    def test_simulated_speedup_distinguishes_kmv_and_hll(self, kron_small):
+        """KMV costs O(k) per intersection while HLL costs O(2^p / W) — at a
+        large precision and small k the two families must no longer report the
+        same simulated speedup (they did when both mapped to ONEHASH)."""
+        pg_kmv = ProbGraph(kron_small, "kmv", k=8, seed=1)
+        pg_hll = ProbGraph(kron_small, "hll", precision=12, seed=1)
+        kmv_speedup = simulated_speedup(kron_small, pg_kmv, num_workers=32)
+        hll_speedup = simulated_speedup(kron_small, pg_hll, num_workers=32)
+        assert kmv_speedup != hll_speedup
+        assert kmv_speedup > hll_speedup  # 8 words/pair vs 2^12·6/64 = 384 words/pair
+
     def test_comparison_row_dict(self):
         row = ComparisonRow("tc", "g", "PG", 2.0, 30.0, 0.95, 0.2).as_dict()
         assert row["problem"] == "tc"
@@ -106,14 +141,16 @@ class TestPaperTables:
     def test_table4_contains_all_schemes(self, kron_small):
         rows = table4_intersection(kron_small, num_bits=512, k=16)
         schemes = {row["scheme"] for row in rows}
-        assert schemes == {"CSR (merge)", "CSR (galloping)", "BF", "k-Hash", "1-Hash"}
+        assert schemes == {
+            "CSR (merge)", "CSR (galloping)", "BF", "k-Hash", "1-Hash", "KMV", "HLL",
+        }
         bf_row = next(r for r in rows if r["scheme"] == "BF")
         merge_row = next(r for r in rows if r["scheme"] == "CSR (merge)")
         assert bf_row["work_ops"] < merge_row["work_ops"]
 
     def test_table5_rows(self, kron_small):
         rows = table5_construction(kron_small)
-        assert len(rows) == 3
+        assert len(rows) == 5
         assert all("construction_work_ops" in row for row in rows)
 
     def test_table6_covers_algorithms_and_schemes(self, kron_small):

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graph import (
     PAPER_DATASETS,
@@ -58,6 +60,46 @@ class TestMetisIO:
         path.write_text("")
         with pytest.raises(ValueError):
             read_metis(path)
+
+    def test_roundtrip_with_isolated_vertex(self, tmp_path):
+        """Regression: blank adjacency lines (isolated vertices) were dropped on
+        read, so write→read raised "declares 4 vertices but has 3 adjacency
+        lines" for any graph with an isolated vertex."""
+        graph = CSRGraph.from_edges(np.asarray([[0, 1], [2, 3]]), num_vertices=5)  # vertex 4 isolated
+        path = tmp_path / "isolated.metis"
+        write_metis(graph, path)
+        restored = read_metis(path)
+        assert restored == graph
+        assert restored.degree(4) == 0
+
+    def test_isolated_vertex_in_the_middle(self, tmp_path):
+        path = tmp_path / "mid.metis"
+        path.write_text("3 1\n3\n\n1\n")  # vertex 1 has no neighbors
+        g = read_metis(path)
+        assert g.num_vertices == 3
+        assert g.degree(1) == 0
+        assert g.has_edge(0, 2)
+
+    def test_comments_and_trailing_blanks_tolerated(self, tmp_path):
+        path = tmp_path / "comments.metis"
+        path.write_text("% header comment\n2 1\n2\n1\n\n\n")
+        g = read_metis(path)
+        assert g.num_vertices == 2 and g.num_edges == 1
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=0, max_size=40
+        ),
+        num_vertices=st.integers(12, 16),  # vertices above the max edge ID stay isolated
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, edges, num_vertices):
+        graph = CSRGraph.from_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2), num_vertices=num_vertices)
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/g.metis"
+            write_metis(graph, path)
+            assert read_metis(path) == graph
 
 
 class TestMatrixMarketIO:

@@ -1,0 +1,119 @@
+"""Tests for the sketch-approximated k-NN graph workload (`repro.algorithms.knn`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import knn_graph, similarity_scores
+from repro.algorithms.knn import KNNGraphResult
+from repro.core import ProbGraph
+from repro.engine import EngineConfig, materialized_topk
+from repro.graph import CSRGraph, complete_graph, kronecker_graph, star_graph
+
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv", "hll"]
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return kronecker_graph(scale=7, edge_factor=5, seed=23)
+
+
+def _brute_force_row(scorer, source, k, measure="jaccard"):
+    n = scorer.num_vertices
+    candidates = np.arange(n, dtype=np.int64)
+    pairs = np.stack([np.full(n, source, dtype=np.int64), candidates], axis=1)
+    scores = similarity_scores(scorer, pairs, measure=measure)
+    scores[candidates == source] = -np.inf
+    idx, sc = materialized_topk(scores, k)
+    valid = np.isfinite(sc)
+    return idx[valid], sc[valid]
+
+
+def test_exact_knn_matches_brute_force(graph):
+    result = knn_graph(graph, 6, source_batch=50, config=EngineConfig(max_chunk_pairs=301))
+    assert result.neighbors.shape == (graph.num_vertices, 6)
+    assert result.num_sources == graph.num_vertices
+    for source in [0, 1, 40, graph.num_vertices - 1]:
+        ref_ids, ref_scores = _brute_force_row(graph, source, 6)
+        valid = result.neighbors[source] >= 0
+        assert np.array_equal(result.neighbors[source][valid], ref_ids)
+        assert np.array_equal(result.scores[source][valid], ref_scores)
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_probgraph_knn_matches_brute_force(graph, representation):
+    pg = ProbGraph(graph, representation=representation, storage_budget=0.3, seed=5)
+    result = knn_graph(pg, 5, source_batch=64, config=EngineConfig(max_chunk_pairs=257))
+    for source in [3, 77]:
+        ref_ids, ref_scores = _brute_force_row(pg, source, 5)
+        valid = result.neighbors[source] >= 0
+        assert np.array_equal(result.neighbors[source][valid], ref_ids)
+        assert np.array_equal(result.scores[source][valid], ref_scores)
+
+
+def test_source_batching_is_invisible(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    one_pass = knn_graph(pg, 4, source_batch=10_000)
+    tiny_batches = knn_graph(pg, 4, source_batch=7)
+    assert np.array_equal(one_pass.neighbors, tiny_batches.neighbors)
+    assert np.array_equal(one_pass.scores, tiny_batches.scores)
+
+
+@pytest.mark.parametrize("measure", ["common_neighbors", "overlap", "adamic_adar"])
+def test_measures_route_through_similarity(graph, measure):
+    sources = np.asarray([0, 5, 9], dtype=np.int64)
+    result = knn_graph(graph, 3, measure=measure, sources=sources)
+    assert result.measure == measure
+    assert result.neighbors.shape == (3, 3)
+    for row, source in enumerate(sources):
+        ref_ids, ref_scores = _brute_force_row(graph, int(source), 3, measure=measure)
+        valid = result.neighbors[row] >= 0
+        assert np.array_equal(result.neighbors[row][valid], ref_ids)
+
+
+def test_neighbor_identity_measures_reject_probgraph(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    with pytest.raises(ValueError, match="exact-only"):
+        knn_graph(pg, 3, measure="adamic_adar", sources=np.asarray([0]))
+
+
+def test_complete_graph_knn_is_everyone():
+    g = complete_graph(6)
+    result = knn_graph(g, 5)
+    for v in range(6):
+        assert set(result.neighbors[v].tolist()) == set(range(6)) - {v}
+        # All pairs in K6 have Jaccard |N_u ∩ N_v| / |N_u ∪ N_v| = 4/6.
+        np.testing.assert_allclose(result.scores[v], 4.0 / 6.0)
+
+
+def test_star_graph_padding():
+    # Leaves share no neighbors with the hub; only leaf-leaf pairs score > 0.
+    g = star_graph(5)
+    result = knn_graph(g, 4, measure="common_neighbors")
+    hub_row = result.scores[0]
+    np.testing.assert_allclose(hub_row, 0.0)  # hub shares no neighbors with leaves
+    for leaf in range(1, 5):
+        valid = result.neighbors[leaf] >= 0
+        assert np.all(result.scores[leaf][valid][:3] == 1.0)  # other leaves share the hub
+
+
+def test_to_csr_symmetrizes(graph):
+    result = knn_graph(graph, 3, sources=np.asarray([0, 1, 2], dtype=np.int64))
+    knn_csr = result.to_csr(num_vertices=graph.num_vertices)
+    assert knn_csr.num_vertices == graph.num_vertices
+    assert knn_csr.num_edges <= 9
+    for row, source in enumerate([0, 1, 2]):
+        for neighbor in result.neighbors[row]:
+            if neighbor >= 0:
+                assert knn_csr.has_edge(int(source), int(neighbor))
+
+
+def test_empty_sources_and_validation(graph):
+    result = knn_graph(graph, 3, sources=np.empty(0, dtype=np.int64))
+    assert isinstance(result, KNNGraphResult)
+    assert result.neighbors.shape == (0, 3)
+    with pytest.raises(ValueError):
+        knn_graph(graph, -1)
+    with pytest.raises(ValueError):
+        knn_graph(graph, 3, source_batch=0)

@@ -61,6 +61,25 @@ class TestWorkDepth:
         assert pg.work < exact.work
         assert pg.depth <= exact.depth + 1
 
+    def test_kmv_and_hll_cost_models(self, kron_small):
+        """The two extra families have their own Table IV rows: KMV intersects
+        like the other value sketches (O(k)), HLL over 2^p packed registers."""
+        kmv = intersection_cost(Scheme.KMV, 50, 50, k=8)
+        onehash = intersection_cost(Scheme.ONEHASH, 50, 50, k=8)
+        assert kmv == onehash
+        hll_small = intersection_cost(Scheme.HLL, 50, 50, precision=8)
+        hll_large = intersection_cost(Scheme.HLL, 50, 50, precision=14)
+        assert hll_small.work < hll_large.work  # scales with 2^p, not with k
+        assert hll_large.work == (6 << 14) // 64
+        # Per-edge costs stay uniform (the load-balancing property).
+        for scheme in (Scheme.KMV, Scheme.HLL):
+            costs = intersection_costs_per_edge(kron_small, scheme, k=8, precision=10)
+            assert np.unique(costs).size == 1
+        # Construction: one hash pass per element, like 1-hash.
+        degrees = kron_small.degrees
+        assert construction_cost(Scheme.KMV, degrees) == construction_cost(Scheme.ONEHASH, degrees)
+        assert construction_cost(Scheme.HLL, degrees) == construction_cost(Scheme.ONEHASH, degrees)
+
     def test_workdepth_composition(self):
         a, b = WorkDepth(10, 2), WorkDepth(5, 4)
         assert (a + b) == WorkDepth(15, 4)

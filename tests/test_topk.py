@@ -1,0 +1,246 @@
+"""Tests for the streaming top-k retrieval layer (`repro.engine.topk`).
+
+The acceptance bar mirrors the batch engine's: streaming selection must be
+**bit-consistent** with the materialize-and-argsort reference — same indices,
+same scores, same canonical order (score descending, index ascending on
+ties) — for every representation, chunk size, and orientation, while keeping
+only an ``O(chunk + k)`` running state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProbGraph
+from repro.engine import (
+    EngineConfig,
+    PGSession,
+    engine_stats,
+    materialized_topk,
+    reset_engine_stats,
+    topk_pair_scores,
+    topk_per_source,
+)
+from repro.graph import CSRGraph, kronecker_graph
+
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv", "hll"]
+CHUNKS = [1, 7, 64, 10_000]
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return kronecker_graph(scale=7, edge_factor=5, seed=23)
+
+
+@pytest.fixture(scope="module")
+def pair_arrays(graph):
+    rng = np.random.default_rng(42)
+    # Duplicated pairs guarantee exact score ties, exercising tie-breaking.
+    u = rng.integers(0, graph.num_vertices, size=900)
+    v = rng.integers(0, graph.num_vertices, size=900)
+    u = np.concatenate([u, u[:300]]).astype(np.int64)
+    v = np.concatenate([v, v[:300]]).astype(np.int64)
+    return u, v
+
+
+def _reference(graph_or_pg, u, v, k, score="jaccard"):
+    """Materialize every score, then select — the O(num_candidates) baseline."""
+    from repro.engine.topk import _resolve_score_fn
+
+    scores = _resolve_score_fn(graph_or_pg, score, None)(u, v)
+    return materialized_topk(scores, k)
+
+
+# ---------------------------------------------------------------------------
+# streaming == materialize + argsort, all families x chunks x orientations
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+@pytest.mark.parametrize("chunk", CHUNKS)
+@pytest.mark.parametrize("oriented", [False, True])
+def test_streaming_topk_equals_materialized(graph, pair_arrays, representation, chunk, oriented):
+    pg = ProbGraph(graph, representation=representation, storage_budget=0.3, seed=5, oriented=oriented)
+    u, v = pair_arrays
+    ref_idx, ref_scores = _reference(pg, u, v, 25)
+    result = topk_pair_scores(pg, u, v, 25, config=EngineConfig(max_chunk_pairs=chunk))
+    assert np.array_equal(result.indices, ref_idx)
+    assert np.array_equal(result.scores, ref_scores)
+
+
+@pytest.mark.parametrize("score", ["jaccard", "intersection", "common_neighbors"])
+def test_builtin_scores_exact_graph(graph, pair_arrays, score):
+    u, v = pair_arrays
+    ref_idx, ref_scores = _reference(graph, u, v, 40, score=score)
+    result = topk_pair_scores(graph, u, v, 40, score=score, config=EngineConfig(max_chunk_pairs=53))
+    assert np.array_equal(result.indices, ref_idx)
+    assert np.array_equal(result.scores, ref_scores)
+
+
+def test_callable_score_fn(graph, pair_arrays):
+    u, v = pair_arrays
+    score_fn = lambda uc, vc: (uc * 31 + vc).astype(np.float64) % 97  # noqa: E731
+    ref_idx, ref_scores = materialized_topk(score_fn(u, v), 10)
+    result = topk_pair_scores(graph, u, v, 10, score=score_fn, config=EngineConfig(max_chunk_pairs=17))
+    assert np.array_equal(result.indices, ref_idx)
+    assert np.array_equal(result.scores, ref_scores)
+
+
+@given(
+    scores=st.lists(st.integers(0, 5), min_size=0, max_size=200),
+    k=st.integers(0, 40),
+    chunk=st.integers(1, 64),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_heavily_tied_scores(scores, k, chunk):
+    """Tiny score alphabet -> massive tie groups; chunking must not reorder them."""
+    arr = np.asarray(scores, dtype=np.float64)
+    u = np.arange(arr.shape[0], dtype=np.int64)
+    ref_idx, ref_scores = materialized_topk(arr, min(k, arr.shape[0]))
+    dummy = CSRGraph(max(arr.shape[0], 1), np.zeros(max(arr.shape[0], 1) + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+    score_fn = lambda uc, vc: arr[uc]  # noqa: E731
+    result = topk_pair_scores(dummy, u, u, k, score=score_fn, config=EngineConfig(max_chunk_pairs=chunk))
+    assert np.array_equal(result.indices, ref_idx)
+    assert np.array_equal(result.scores, ref_scores)
+
+
+def test_edge_cases(graph):
+    empty = np.empty(0, dtype=np.int64)
+    result = topk_pair_scores(graph, empty, empty, 5)
+    assert result.indices.shape == (0,) and result.scores.shape == (0,)
+    u = np.asarray([0, 1], dtype=np.int64)
+    v = np.asarray([2, 3], dtype=np.int64)
+    assert len(topk_pair_scores(graph, u, v, 0)) == 0
+    # k larger than the candidate list clamps.
+    assert len(topk_pair_scores(graph, u, v, 99)) == 2
+    with pytest.raises(ValueError):
+        topk_pair_scores(graph, u, v, -1)
+    with pytest.raises(ValueError):
+        topk_pair_scores(graph, u, v, 5, score="nope")
+
+
+# ---------------------------------------------------------------------------
+# per-source retrieval
+# ---------------------------------------------------------------------------
+def _per_source_reference(pg, source, candidates, k, exclude_self=True):
+    from repro.engine.topk import _resolve_score_fn
+
+    score_fn = _resolve_score_fn(pg, "jaccard", None)
+    uu = np.full(candidates.shape[0], source, dtype=np.int64)
+    scores = score_fn(uu, candidates)
+    if exclude_self:
+        scores = np.where(candidates == source, -np.inf, scores)
+    idx, sc = materialized_topk(scores, k)
+    valid = np.isfinite(sc)
+    return candidates[idx[valid]], sc[valid]
+
+
+@pytest.mark.parametrize("representation", ["bloom", "kmv"])
+@pytest.mark.parametrize("chunk", [3, 50, 10_000])
+def test_per_source_matches_reference(graph, representation, chunk):
+    pg = ProbGraph(graph, representation=representation, storage_budget=0.3, seed=5)
+    sources = np.asarray([0, 3, 17, 100, 101], dtype=np.int64)
+    result = topk_per_source(pg, sources, 12, config=EngineConfig(max_chunk_pairs=chunk))
+    assert result.indices.shape == (5, 12)
+    candidates = np.arange(graph.num_vertices, dtype=np.int64)
+    for row, source in enumerate(sources):
+        ref_ids, ref_scores = _per_source_reference(pg, int(source), candidates, 12)
+        valid = result.indices[row] >= 0
+        assert np.array_equal(result.indices[row][valid], ref_ids)
+        assert np.array_equal(result.scores[row][valid], ref_scores)
+        assert int(source) not in result.indices[row]  # self excluded
+
+
+def test_per_source_candidate_subset_and_padding(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    candidates = np.asarray([5, 9, 2, 2, 7], dtype=np.int64)  # dup -> {2, 5, 7, 9}
+    result = topk_per_source(pg, np.asarray([2]), 10, candidates=candidates)
+    # k clamps to the candidate pool; source 2 excludes itself -> 3 valid + padding.
+    assert result.indices.shape == (1, 4)
+    assert (result.indices[0] >= 0).sum() == 3
+    assert result.indices[0][-1] == -1 and result.scores[0][-1] == 0.0
+    assert 2 not in result.indices[0]
+
+
+def test_per_source_without_self_exclusion(graph):
+    pg = ProbGraph(graph, representation="1hash", storage_budget=0.3, seed=5)
+    result = topk_per_source(pg, np.asarray([4]), 1, exclude_self=False, score="jaccard")
+    assert result.indices[0, 0] == 4  # a vertex is most similar to itself
+    assert result.scores[0, 0] == pytest.approx(1.0)
+
+
+def test_per_source_empty_sources(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    result = topk_per_source(pg, np.empty(0, dtype=np.int64), 5)
+    assert result.indices.shape == (0, 5)
+
+
+# ---------------------------------------------------------------------------
+# session threading + stats
+# ---------------------------------------------------------------------------
+def test_session_top_k_similar(graph):
+    session = PGSession()
+    pg = session.probgraph(graph, representation="khash", storage_budget=0.3, seed=5)
+    vertices, scores = session.top_k_similar(pg, 7, 8)
+    candidates = np.arange(graph.num_vertices, dtype=np.int64)
+    ref_ids, ref_scores = _per_source_reference(pg, 7, candidates, 8)
+    assert np.array_equal(vertices[: ref_ids.shape[0]], ref_ids)
+    assert np.array_equal(scores[: ref_scores.shape[0]], ref_scores)
+    # Scores are monotonically non-increasing — the serving contract.
+    assert np.all(np.diff(scores) <= 0)
+
+
+def test_session_top_k_similar_batch(graph):
+    session = PGSession(config=EngineConfig(max_chunk_pairs=64))
+    pg = session.probgraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    sources = np.asarray([1, 2, 3], dtype=np.int64)
+    batched = session.top_k_similar_batch(pg, sources, 6)
+    for row, source in enumerate(sources):
+        single_v, single_s = session.top_k_similar(pg, int(source), 6)
+        assert np.array_equal(batched.indices[row], single_v)
+        assert np.array_equal(batched.scores[row], single_s)
+
+
+def test_topk_counts_in_engine_stats(graph):
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    reset_engine_stats()
+    before = engine_stats().snapshot()
+    topk_pair_scores(pg, np.asarray([0, 1]), np.asarray([2, 3]), 2)
+    topk_per_source(pg, np.asarray([0]), 3)
+    after = engine_stats()
+    assert after.topk_queries == before.topk_queries + 2
+    assert after.queries > before.queries
+    assert after.pairs > before.pairs
+
+
+def test_no_double_counting_with_engine_routed_callable(graph):
+    """A score callable that itself runs through the batch engine (the
+    link-prediction / knn shape) must not get its pairs counted twice."""
+    from repro.engine import batched_pair_intersections
+
+    pg = ProbGraph(graph, representation="bloom", storage_budget=0.3, seed=5)
+    rng = np.random.default_rng(1)
+    u = rng.integers(0, graph.num_vertices, 500).astype(np.int64)
+    v = rng.integers(0, graph.num_vertices, 500).astype(np.int64)
+    score_fn = lambda uc, vc: batched_pair_intersections(pg, uc, vc)  # noqa: E731
+    reset_engine_stats()
+    topk_pair_scores(pg, u, v, 10, score=score_fn, config=EngineConfig(max_chunk_pairs=100))
+    assert engine_stats().pairs == 500  # counted once, by the inner engine call
+    reset_engine_stats()
+    topk_pair_scores(pg, u, v, 10, config=EngineConfig(max_chunk_pairs=100))
+    assert engine_stats().pairs == 500  # built-in scores: counted once, by top-k
+
+
+def test_per_source_rejects_nonfinite_scores(graph):
+    score_fn = lambda uc, vc: np.full(uc.shape[0], -np.inf)  # noqa: E731
+    with pytest.raises(ValueError, match="finite"):
+        topk_per_source(graph, np.asarray([0]), 2, score=score_fn)
+
+
+def test_per_source_does_not_mutate_callable_buffer(graph):
+    """exclude_self must not write -inf into a buffer the callable owns."""
+    cache = np.ones(graph.num_vertices, dtype=np.float64)
+    score_fn = lambda uc, vc: cache[: uc.shape[0]]  # noqa: E731
+    topk_per_source(graph, np.asarray([0]), 3, score=score_fn, config=EngineConfig(max_chunk_pairs=10_000))
+    assert np.all(cache == 1.0)
