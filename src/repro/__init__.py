@@ -44,17 +44,27 @@ from .algorithms import (
     four_clique_count,
     jarvis_patrick_clustering,
     knn_graph,
+    knn_graph_sharded,
     local_clustering_coefficients,
     multihop_cardinalities,
     similarity,
     similarity_scores,
     triangle_count,
     triangle_count_exact,
+    triangle_count_sharded,
 )
 from .core import EstimatorKind, ProbGraph, Representation, estimate_triangles
 from .dynamic import DynamicGraph, EdgeBatch, EdgeStream, GraphDelta
-from .engine import EngineConfig, PGSession, TopKResult, topk_pair_scores, topk_per_source
-from .graph import CSRGraph, kronecker_graph, load_dataset
+from .engine import (
+    EngineConfig,
+    PGSession,
+    ShardedEngine,
+    TopKResult,
+    build_probgraph_sharded,
+    topk_pair_scores,
+    topk_per_source,
+)
+from .graph import CSRGraph, kronecker_graph, load_dataset, partition_graph
 
 __version__ = "1.1.0"
 
@@ -66,12 +76,16 @@ __all__ = [
     "EstimatorKind",
     "PGSession",
     "EngineConfig",
+    "ShardedEngine",
+    "build_probgraph_sharded",
+    "partition_graph",
     "DynamicGraph",
     "EdgeStream",
     "EdgeBatch",
     "GraphDelta",
     "triangle_count",
     "triangle_count_exact",
+    "triangle_count_sharded",
     "estimate_triangles",
     "four_clique_count",
     "jarvis_patrick_clustering",
@@ -82,6 +96,7 @@ __all__ = [
     "local_clustering_coefficients",
     "multihop_cardinalities",
     "knn_graph",
+    "knn_graph_sharded",
     "TopKResult",
     "topk_pair_scores",
     "topk_per_source",

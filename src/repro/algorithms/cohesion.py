@@ -61,6 +61,7 @@ def _subset_view(
             num_hashes=graph.num_hashes,
             num_bits=graph.num_bits,
             k=graph.k,
+            precision=graph.precision,
             oriented=graph.oriented,
             seed=graph.seed,
             estimator=graph.estimator,

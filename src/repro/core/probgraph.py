@@ -264,6 +264,60 @@ class ProbGraph:
         self.rows_patched = 0
         self.patch_seconds = 0.0
 
+    @classmethod
+    def from_sketches(
+        cls,
+        graph: CSRGraph,
+        sketches,
+        params: "SketchParams",
+        oriented: bool = False,
+        seed: int = 0,
+        estimator: EstimatorKind | str | None = None,
+        storage_budget: float = 0.25,
+        base: CSRGraph | None = None,
+        construction_seconds: float = 0.0,
+    ) -> "ProbGraph":
+        """Wrap an already-built sketch container into a :class:`ProbGraph`.
+
+        The entry point of the sharded build path
+        (:mod:`repro.engine.sharded`): per-shard containers built in worker
+        processes are merged row-wise and handed over here, skipping the
+        in-process construction pass.  The caller guarantees that ``sketches``
+        is exactly what ``params.make_family(seed).sketch_neighborhoods`` would
+        produce on ``base`` (the oriented graph when ``oriented``); every query
+        path then behaves bit-identically to a directly-constructed ProbGraph.
+        """
+        pg = cls.__new__(cls)
+        pg.graph = graph
+        pg.representation = params.representation
+        pg.storage_budget = float(storage_budget)
+        pg.num_hashes = int(params.num_hashes) if params.num_hashes is not None else 2
+        pg.oriented = bool(oriented)
+        pg.seed = int(seed)
+        pg._base = base if base is not None else (graph.oriented() if oriented else graph)
+        if sketches.num_sets != pg._base.num_vertices:
+            raise ValueError(
+                f"sketch container holds {sketches.num_sets} rows for a graph "
+                f"with {pg._base.num_vertices} vertices"
+            )
+        pg.sketch_params = params
+        pg.family = params.make_family(pg.seed)
+        pg.num_bits = params.num_bits
+        pg.k = params.k
+        pg.precision = params.precision
+        pg.estimator = (
+            check_estimator_kind(pg.representation, estimator)
+            if estimator is not None
+            else params.default_estimator
+        )
+        pg.budget_resolution = params.resolution
+        pg.sketches = sketches
+        pg.construction_seconds = float(construction_seconds)
+        pg.deltas_applied = 0
+        pg.rows_patched = 0
+        pg.patch_seconds = 0.0
+        return pg
+
     # ------------------------------------------------------------------ sizes
     @property
     def num_vertices(self) -> int:

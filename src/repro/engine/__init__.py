@@ -14,6 +14,10 @@ This package is the execution layer between the sketch containers
 * :func:`topk_pair_scores` / :func:`topk_per_source` keep an ``O(k)`` running
   selection over streamed pair scores (top-k retrieval — the serving and
   link-prediction query shape — without materializing the score array);
+* :class:`ShardedEngine` builds per-shard sketch sets in a process pool and
+  serves queries by routing each pair to the shard owning its sketch rows
+  (scatter-gather, bit-identical to the single-process path — §VIII-F for
+  real on one machine);
 * :func:`engine_stats` exposes process-wide activity counters so the engine
   path is observable.
 
@@ -36,6 +40,7 @@ from .batch import (
     sum_pair_intersections,
 )
 from .session import PGSession, SessionStats, default_session
+from .sharded import ShardCommStats, ShardedEngine, build_probgraph_sharded
 from .topk import TopKResult, materialized_topk, topk_pair_scores, topk_per_source
 
 __all__ = [
@@ -44,6 +49,9 @@ __all__ = [
     "EngineStats",
     "PGSession",
     "SessionStats",
+    "ShardCommStats",
+    "ShardedEngine",
+    "build_probgraph_sharded",
     "TopKResult",
     "default_session",
     "engine_stats",

@@ -29,6 +29,7 @@ workloads never go cold.
 from __future__ import annotations
 
 import copy
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -81,6 +82,25 @@ class PGSession:
     config:
         Default :class:`~repro.engine.EngineConfig` applied to queries issued
         through this session (chunk sizing, memory budget, thread fan-out).
+    shards:
+        When > 1, cache misses build their sketch set through the sharded
+        multiprocess pass (:func:`repro.engine.sharded.build_probgraph_sharded`)
+        instead of in-process — bit-identical results, construction split over
+        worker processes.
+    pool:
+        Optional :class:`~concurrent.futures.ProcessPoolExecutor` reused by
+        the sharded builds (kept alive by the caller); when ``None`` and
+        ``shards`` is set, each build uses a transient pool.
+
+    Thread safety: all cache operations (lookup/insert, :meth:`apply_delta`,
+    :meth:`clear`) hold an internal :class:`threading.RLock`, so one session
+    may be shared by concurrent query threads (``EngineConfig.parallel``, the
+    sharded serving path) without losing entries or corrupting the LRU order.
+    A cache *miss* builds its sketch set while holding the lock (single-flight
+    per session: concurrent misses for the same key never build twice), which
+    means other cache operations wait out an in-progress construction — share
+    pre-built entries or use per-worker sessions when construction latency
+    under the lock matters.
 
     Example
     -------
@@ -92,13 +112,24 @@ class PGSession:
     True
     """
 
-    def __init__(self, max_entries: int = 8, config: EngineConfig | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int = 8,
+        config: EngineConfig | None = None,
+        shards: int | None = None,
+        pool=None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be at least 1")
         self.max_entries = int(max_entries)
         self.config = config or EngineConfig()
+        self.shards = int(shards) if shards is not None else None
+        self.pool = pool
         self.stats = SessionStats()
         self._cache: OrderedDict[tuple, ProbGraph] = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------ construction
     def probgraph(
@@ -128,51 +159,70 @@ class PGSession:
             graph, representation, storage_budget, num_hashes, num_bits, k, precision
         )
         key = (graph.fingerprint(), params.key(), bool(oriented), int(seed))
-        cached = self._cache.get(key)
-        if cached is not None and cached.graph.fingerprint() != key[0]:
-            # The object was patched out-of-band (ProbGraph.apply_delta called
-            # directly instead of session.apply_delta): it now represents a
-            # *different* graph than its key claims.  Re-key it under its real
-            # identity instead of serving wrong-graph results, and fall through
-            # to a miss for the requested graph.
-            del self._cache[key]
-            real_key = cached.cache_key()
-            if real_key in self._cache:
-                self.stats.evictions += 1  # the re-key displaces an equivalent entry
-            self._cache[real_key] = cached
+        with self._lock:
             cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.stats.cache_hits += 1
-            wanted = (
-                check_estimator_kind(params.representation, estimator)
-                if estimator is not None
-                else params.default_estimator
-            )
-            if wanted != cached.estimator:
-                view = copy.copy(cached)  # shares graph, family, and sketches
-                view.estimator = wanted
-                return view
-            return cached
-        self.stats.cache_misses += 1
-        pg = ProbGraph(
-            graph,
-            representation=params.representation,
-            storage_budget=storage_budget,
-            num_hashes=num_hashes,
-            num_bits=params.num_bits,
-            k=params.k,
-            precision=params.precision,
-            oriented=oriented,
-            seed=seed,
-            estimator=estimator,
-        )
-        self.stats.constructions += 1
-        self._cache[key] = pg
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-        return pg
+            if cached is not None and cached.graph.fingerprint() != key[0]:
+                # The object was patched out-of-band (ProbGraph.apply_delta called
+                # directly instead of session.apply_delta): it now represents a
+                # *different* graph than its key claims.  Re-key it under its real
+                # identity instead of serving wrong-graph results, and fall through
+                # to a miss for the requested graph.
+                del self._cache[key]
+                real_key = cached.cache_key()
+                if real_key in self._cache:
+                    self.stats.evictions += 1  # the re-key displaces an equivalent entry
+                self._cache[real_key] = cached
+                cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                wanted = (
+                    check_estimator_kind(params.representation, estimator)
+                    if estimator is not None
+                    else params.default_estimator
+                )
+                if wanted != cached.estimator:
+                    view = copy.copy(cached)  # shares graph, family, and sketches
+                    view.estimator = wanted
+                    return view
+                return cached
+            self.stats.cache_misses += 1
+            if self.shards is not None and self.shards > 1:
+                from .sharded import build_probgraph_sharded
+
+                pg = build_probgraph_sharded(
+                    graph,
+                    self.shards,
+                    representation=params.representation,
+                    storage_budget=storage_budget,
+                    num_hashes=num_hashes,
+                    num_bits=params.num_bits,
+                    k=params.k,
+                    precision=params.precision,
+                    oriented=oriented,
+                    seed=seed,
+                    estimator=estimator,
+                    pool=self.pool,
+                )
+            else:
+                pg = ProbGraph(
+                    graph,
+                    representation=params.representation,
+                    storage_budget=storage_budget,
+                    num_hashes=num_hashes,
+                    num_bits=params.num_bits,
+                    k=params.k,
+                    precision=params.precision,
+                    oriented=oriented,
+                    seed=seed,
+                    estimator=estimator,
+                )
+            self.stats.constructions += 1
+            self._cache[key] = pg
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.stats.evictions += 1
+            return pg
 
     def apply_delta(self, delta: "GraphDelta") -> int:
         """Patch every cached sketch set of the delta's source graph, in place.
@@ -193,33 +243,37 @@ class PGSession:
         """
         old_fingerprint = delta.old_fingerprint
         new_fingerprint = delta.new_fingerprint
-        patched = 0
-        remapped: OrderedDict[tuple, ProbGraph] = OrderedDict()
-        for key, pg in self._cache.items():
-            if key[0] == old_fingerprint:
-                rows_before = pg.rows_patched
-                pg.apply_delta(delta)
-                record_patch(pg.rows_patched - rows_before)
-                key = (new_fingerprint,) + key[1:]
-                patched += 1
-            remapped[key] = pg
-        # A patched entry can land on the key of an entry already built for the
-        # new graph (bit-identical sketches); the displaced one counts as evicted.
-        self.stats.evictions += len(self._cache) - len(remapped)
-        self._cache = remapped
-        self.stats.delta_patches += patched
-        return patched
+        with self._lock:
+            patched = 0
+            remapped: OrderedDict[tuple, ProbGraph] = OrderedDict()
+            for key, pg in self._cache.items():
+                if key[0] == old_fingerprint:
+                    rows_before = pg.rows_patched
+                    pg.apply_delta(delta)
+                    record_patch(pg.rows_patched - rows_before)
+                    key = (new_fingerprint,) + key[1:]
+                    patched += 1
+                remapped[key] = pg
+            # A patched entry can land on the key of an entry already built for the
+            # new graph (bit-identical sketches); the displaced one counts as evicted.
+            self.stats.evictions += len(self._cache) - len(remapped)
+            self._cache = remapped
+            self.stats.delta_patches += patched
+            return patched
 
     def cached(self, pg: ProbGraph) -> bool:
         """Whether ``pg``'s sketch set currently lives in this session's cache."""
-        return pg.cache_key() in self._cache
+        with self._lock:
+            return pg.cache_key() in self._cache
 
     def clear(self) -> None:
         """Drop every cached sketch set (stats are kept)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     # ----------------------------------------------------------------- queries
     def pair_intersections(
@@ -308,11 +362,19 @@ class PGSession:
 
 
 _DEFAULT_SESSION: PGSession | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
 
 
 def default_session() -> PGSession:
-    """The process-wide session used when callers do not manage their own."""
+    """The process-wide session used when callers do not manage their own.
+
+    Race-free: concurrent first calls agree on one session (double-checked
+    lazy init under a module lock) instead of each thread constructing and
+    publishing its own instance.
+    """
     global _DEFAULT_SESSION
     if _DEFAULT_SESSION is None:
-        _DEFAULT_SESSION = PGSession()
+        with _DEFAULT_SESSION_LOCK:
+            if _DEFAULT_SESSION is None:
+                _DEFAULT_SESSION = PGSession()
     return _DEFAULT_SESSION

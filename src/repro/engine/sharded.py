@@ -1,0 +1,699 @@
+"""Sharded multiprocess query engine — real multi-core execution (§VIII-F).
+
+:mod:`repro.parallel.distributed` *models* the paper's distributed claim
+(shipping fixed-size sketches instead of CSR neighborhoods cuts communication
+~4×) and :mod:`repro.parallel.executor`'s thread pool is capped by the GIL for
+anything that is not one huge NumPy call.  This module executes the same idea
+for real on one machine: vertices are partitioned into shards
+(:mod:`repro.graph.partition`), each shard's neighborhood sketches are built in
+a separate **process** of a :class:`concurrent.futures.ProcessPoolExecutor`,
+and queries are served by routing every pair to the shard owning its sketch
+rows and scatter-gathering the results.
+
+Three contracts make this safe to use everywhere the single-process engine is:
+
+* **Bit-identity.**  A sketch row is a pure function of the neighborhood
+  elements and the family seed — it does not depend on the row's position or
+  on any other row.  Every shard therefore builds with the *session* seed
+  (no per-shard salt is needed for reproducibility: the row hashes already
+  are deterministic), over horizontal row blocks of the full adjacency (never
+  induced subgraphs), so the union of shard containers is bit-identical to a
+  whole-graph build and every routed query returns exactly the floats the
+  single-process :class:`~repro.engine.PGSession` path returns.
+* **Shipment accounting.**  For a cut pair the lower-degree endpoint's row is
+  shipped to the other endpoint's shard, deduplicated per
+  ``(vertex, destination shard)`` within a query — exactly the point-to-point
+  model of :func:`repro.parallel.distributed.communication_volume`, whose
+  shipment counts and sketch bytes the engine's :class:`ShardCommStats` are
+  validated against in the test suite.
+* **Worker transport.**  Workers receive the CSR arrays either through
+  pickled row-block views (``transport="pickle"``) or zero-copy through
+  :mod:`multiprocessing.shared_memory` (``transport="shm"``, the default when
+  available): the parent publishes the full ``(indptr, indices)`` arrays once
+  and each worker slices out its own rows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.estimators import EstimatorKind, intersection_to_jaccard
+from ..core.probgraph import (
+    ProbGraph,
+    Representation,
+    SketchParams,
+    check_estimator_kind,
+    resolve_sketch_params,
+)
+from ..graph.csr import CSRGraph
+from ..graph.partition import ShardPartition, partition_graph, slice_row_block
+from ..parallel.distributed import CommunicationVolume, communication_volume
+from ..parallel.executor import chunked_ranges
+from ..sketches.base import NeighborhoodSketches, concat_sketch_rows
+from ..sketches.bloom import BloomNeighborhoodSketches
+from .batch import record_query, record_topk, resolve_chunk_pairs
+from .topk import TopKResult
+
+__all__ = ["ShardCommStats", "ShardedEngine", "build_probgraph_sharded"]
+
+
+@dataclass
+class ShardCommStats:
+    """Bytes and rows the sharded engine actually moved between shards.
+
+    ``shipments`` counts unique ``(vertex, destination shard)`` row transfers —
+    the same dedup unit as
+    :attr:`repro.parallel.distributed.CommunicationVolume.shipments` — and
+    ``sketch_bytes`` the corresponding sketch payload, so a pair query over a
+    graph's edge list is directly comparable to the §VIII-F model.
+    """
+
+    queries: int = 0
+    routed_pairs: int = 0
+    cut_pairs: int = 0
+    shipments: int = 0
+    sketch_bytes: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (per-experiment accounting)."""
+        self.queries = 0
+        self.routed_pairs = 0
+        self.cut_pairs = 0
+        self.shipments = 0
+        self.sketch_bytes = 0.0
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+def _attach_shared_memory(name: str):
+    """Attach an existing shared-memory block; the parent owns and unlinks it.
+
+    Fork-started workers (the Linux default this engine targets) share the
+    parent's resource-tracker process, and registrations are per-name, so the
+    parent's single ``unlink()`` after the build cleans the segment up exactly
+    once — no per-child tracker bookkeeping is needed.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _build_shard_sketches(spec: tuple) -> NeighborhoodSketches:
+    """Worker entry point: build one shard's sketch rows from its CSR row block.
+
+    ``spec`` is ``(params, seed, payload)`` where ``payload`` is either
+    ``("arrays", local_indptr, local_indices)`` (pickled row-block views) or
+    ``("shm", indptr_name, indptr_len, indices_name, indices_len, owned)``
+    (attach the full CSR via shared memory and slice the owned rows here).
+    The returned container's row ``i`` is bit-identical to row ``owned[i]`` of
+    a whole-graph build with the same family parameters and seed.
+    """
+    params, seed, payload = spec
+    family = params.make_family(int(seed))
+    if payload[0] == "arrays":
+        _, local_indptr, local_indices = payload
+        return family.sketch_neighborhoods(local_indptr, local_indices)
+    _, indptr_name, indptr_len, indices_name, indices_len, owned = payload
+    shm_indptr = _attach_shared_memory(indptr_name)
+    shm_indices = _attach_shared_memory(indices_name)
+    try:
+        indptr = np.ndarray((indptr_len,), dtype=np.int64, buffer=shm_indptr.buf)
+        indices = np.ndarray((indices_len,), dtype=np.int64, buffer=shm_indices.buf)
+        local_indptr, local_indices = slice_row_block(indptr, indices, owned)
+        return family.sketch_neighborhoods(local_indptr, local_indices)
+    finally:
+        shm_indptr.close()
+        shm_indices.close()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+class ShardedEngine:
+    """Per-shard sketch sets built in a process pool, served by routed queries.
+
+    Parameters mirror :class:`~repro.core.ProbGraph` (representation, budget,
+    explicit sizes, ``oriented``, ``seed``, default ``estimator``), plus:
+
+    num_shards:
+        Number of vertex shards (= per-shard sketch containers).
+    partition:
+        ``"hash"`` (random balanced, default) or ``"locality"`` (BFS chunks) —
+        see :func:`repro.graph.partition.partition_graph`.
+    partition_seed:
+        Seed of the partitioner's RNG (defaults to ``seed``).  Only the
+        *ownership* of rows depends on it — never the sketch contents, which
+        are built with the session ``seed`` so that results stay bit-identical
+        to the single-process path for any partitioning.
+    pool:
+        An existing :class:`~concurrent.futures.ProcessPoolExecutor` to reuse
+        across builds (it is not shut down); when ``None``, a private pool of
+        ``max_workers`` (default ``num_shards``) processes is created for the
+        construction pass and torn down afterwards.
+    transport:
+        ``"shm"`` ships the full CSR through shared memory and lets each
+        worker slice its rows, ``"pickle"`` sends per-shard row-block arrays,
+        ``"auto"`` (default) tries shared memory and falls back to pickling.
+
+    Queries are safe to issue from concurrent threads: evaluation state is
+    per-call (shard containers are only read), and the :attr:`comm` counters
+    are updated under a lock.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_shards: int,
+        representation: Representation | str = Representation.BLOOM,
+        storage_budget: float = 0.25,
+        num_hashes: int = 2,
+        num_bits: int | None = None,
+        k: int | None = None,
+        precision: int | None = None,
+        oriented: bool = False,
+        seed: int = 0,
+        estimator: EstimatorKind | str | None = None,
+        partition: str = "hash",
+        partition_seed: int | None = None,
+        pool: ProcessPoolExecutor | None = None,
+        max_workers: int | None = None,
+        transport: str = "auto",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}; expected 'auto', 'shm', or 'pickle'")
+        self.graph = graph
+        self.storage_budget = float(storage_budget)
+        self.oriented = bool(oriented)
+        self.seed = int(seed)
+        self.params: SketchParams = resolve_sketch_params(
+            graph, representation, storage_budget, num_hashes, num_bits, k, precision
+        )
+        self.estimator = (
+            check_estimator_kind(self.params.representation, estimator)
+            if estimator is not None
+            else self.params.default_estimator
+        )
+        self._base = graph.oriented() if oriented else graph
+        self.partition: ShardPartition = partition_graph(
+            graph, num_shards, method=partition,
+            seed=self.seed if partition_seed is None else int(partition_seed),
+        )
+        self.family = self.params.make_family(self.seed)
+        self.comm = ShardCommStats()
+        self._comm_lock = threading.Lock()
+        start = time.perf_counter()
+        self._shards: list[NeighborhoodSketches] = self._build(pool, max_workers, transport)
+        self.construction_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------ construction
+    def _shard_specs(self, transport: str) -> tuple[list[tuple], object | None]:
+        """Build the per-shard worker specs; returns (specs, shm_handles)."""
+        base = self._base
+        if transport == "pickle":
+            specs = []
+            for s in range(self.num_shards):
+                local_indptr, local_indices = self.partition.row_block(
+                    base.indptr, base.indices, s
+                )
+                specs.append((self.params, self.seed, ("arrays", local_indptr, local_indices)))
+            return specs, None
+        from multiprocessing import shared_memory
+
+        indptr = np.ascontiguousarray(base.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(base.indices, dtype=np.int64)
+        shm_indptr = shared_memory.SharedMemory(create=True, size=max(indptr.nbytes, 1))
+        try:
+            shm_indices = shared_memory.SharedMemory(create=True, size=max(indices.nbytes, 1))
+        except BaseException:
+            shm_indptr.close()
+            shm_indptr.unlink()
+            raise
+        try:
+            np.ndarray(indptr.shape, dtype=np.int64, buffer=shm_indptr.buf)[:] = indptr
+            np.ndarray(indices.shape, dtype=np.int64, buffer=shm_indices.buf)[:] = indices
+        except BaseException:
+            for shm in (shm_indptr, shm_indices):
+                shm.close()
+                shm.unlink()
+            raise
+        specs = [
+            (
+                self.params,
+                self.seed,
+                (
+                    "shm",
+                    shm_indptr.name,
+                    indptr.shape[0],
+                    shm_indices.name,
+                    indices.shape[0],
+                    self.partition.shard_vertices[s],
+                ),
+            )
+            for s in range(self.num_shards)
+        ]
+        return specs, (shm_indptr, shm_indices)
+
+    def _build(
+        self,
+        pool: ProcessPoolExecutor | None,
+        max_workers: int | None,
+        transport: str,
+    ) -> list[NeighborhoodSketches]:
+        if self.num_shards == 1:
+            # Nothing to fan out — build the single row block in-process.
+            return [
+                _build_shard_sketches(self._shard_specs("pickle")[0][0])
+            ]
+        if transport == "auto":
+            try:
+                specs, handles = self._shard_specs("shm")
+            except (OSError, ImportError):
+                # Shared memory unavailable (no /dev/shm, size limits, or no
+                # _posixshmem) — pickled row blocks are always possible.
+                specs, handles = self._shard_specs("pickle")
+        else:
+            specs, handles = self._shard_specs(transport)
+        try:
+            if pool is not None:
+                return list(pool.map(_build_shard_sketches, specs))
+            with ProcessPoolExecutor(max_workers=max_workers or self.num_shards) as owned:
+                return list(owned.map(_build_shard_sketches, specs))
+        finally:
+            if handles is not None:
+                for shm in handles:
+                    shm.close()
+                    shm.unlink()
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_shards(self) -> int:
+        """Number of vertex shards."""
+        return self.partition.num_shards
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self.graph.num_vertices
+
+    @property
+    def owners(self) -> np.ndarray:
+        """Shard owning each vertex (the partitioning the queries route by)."""
+        return self.partition.owners
+
+    @property
+    def base_degrees(self) -> np.ndarray:
+        """Degrees of the sketched base (oriented ``N+`` when oriented) — see
+        :attr:`repro.core.ProbGraph.base_degrees`."""
+        return self._base.degrees
+
+    @property
+    def bits_per_set(self) -> int:
+        """Fixed sketch size per vertex — the shipment payload of §VIII-F."""
+        return self.family.bits_per_set
+
+    @property
+    def representation(self) -> Representation:
+        """The sketch family served by this engine."""
+        return self.params.representation
+
+    # ---------------------------------------------------------------- routing
+    def _route(self, u: np.ndarray, v: np.ndarray):
+        """Home shard, cut mask, and shipped endpoint of every queried pair.
+
+        Mirrors :func:`repro.parallel.distributed.communication_volume`: a
+        same-shard pair is evaluated where it lives; a cut pair ships the
+        lower-degree endpoint's sketch row to the other endpoint's shard
+        (ties ship the first endpoint), so the evaluation happens at the
+        receiving shard.
+        """
+        owners = self.partition.owners
+        ou = owners[u]
+        ov = owners[v]
+        degs = self.graph.degrees
+        ship_u = degs[u] <= degs[v]
+        home = np.where(ou == ov, ou, np.where(ship_u, ov, ou))
+        shipped = np.where(ship_u, u, v)
+        return home, ou != ov, shipped
+
+    def _eval_container(
+        self, shard: int, local_vertices: np.ndarray, ship_vertices: np.ndarray
+    ) -> tuple[NeighborhoodSketches, np.ndarray]:
+        """A container over exactly the rows one routed evaluation touches.
+
+        ``local_vertices`` (unique global IDs owned by ``shard``) stay put;
+        ``ship_vertices`` (unique global IDs owned by *other* shards) are
+        gathered from their owners' containers — each gather is one counted
+        shipment of ``bits_per_set`` bits — and appended after them.  Only the
+        referenced rows are copied (never the whole shard), and when the query
+        touches every owned row with nothing shipped, the shard's container is
+        returned as-is.  The returned lookup is a fresh per-call array (queries
+        are safe to issue concurrently) mapping every referenced global ID to
+        its row in the returned container.
+        """
+        owned = self.partition.shard_vertices[shard]
+        lookup = np.empty(self.graph.num_vertices, dtype=np.int64)
+        if ship_vertices.size == 0 and local_vertices.shape[0] == owned.shape[0]:
+            # local_vertices is a unique subset of owned, so equal sizes mean
+            # the query touches the whole shard: serve the container in place.
+            lookup[owned] = np.arange(owned.shape[0], dtype=np.int64)
+            return self._shards[shard], lookup
+        parts = [self._shards[shard].take_rows(self.partition.local_index[local_vertices])]
+        lookup[local_vertices] = np.arange(local_vertices.shape[0], dtype=np.int64)
+        if ship_vertices.size:
+            src = self.partition.owners[ship_vertices]
+            order = np.argsort(src, kind="stable")
+            grouped = ship_vertices[order]
+            src_sorted = src[order]
+            for t in np.unique(src_sorted):
+                rows_t = grouped[src_sorted == t]
+                parts.append(
+                    self._shards[int(t)].take_rows(self.partition.local_index[rows_t])
+                )
+            lookup[grouped] = local_vertices.shape[0] + np.arange(
+                grouped.shape[0], dtype=np.int64
+            )
+            with self._comm_lock:
+                self.comm.shipments += int(ship_vertices.size)
+                self.comm.sketch_bytes += float(ship_vertices.size) * self.bits_per_set / 8.0
+        return concat_sketch_rows(parts), lookup
+
+    def _container_pairs(
+        self,
+        container: NeighborhoodSketches,
+        lu: np.ndarray,
+        lv: np.ndarray,
+        kind: EstimatorKind,
+    ) -> np.ndarray:
+        if isinstance(container, BloomNeighborhoodSketches):
+            return np.asarray(container.pair_intersections(lu, lv, estimator=kind), dtype=np.float64)
+        return np.asarray(container.pair_intersections(lu, lv), dtype=np.float64)
+
+    def _resolve_estimator(self, estimator: EstimatorKind | str | None) -> EstimatorKind:
+        if estimator is None:
+            return self.estimator
+        return check_estimator_kind(self.params.representation, estimator)
+
+    # ----------------------------------------------------------------- queries
+    def pair_intersections(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+    ) -> np.ndarray:
+        """Estimate ``|N_u ∩ N_v|`` per pair by routed scatter-gather.
+
+        Bit-identical to the single-process
+        :meth:`repro.engine.PGSession.pair_intersections` for the same
+        parameters and seed: each pair is evaluated from the same two sketch
+        rows by the same pure estimator, merely *where* the rows live.
+        """
+        kind = self._resolve_estimator(estimator)
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        total = u.shape[0]
+        if total == 0:
+            with self._comm_lock:
+                self.comm.queries += 1
+            return np.empty(0, dtype=np.float64)
+        home, cut, shipped = self._route(u, v)
+        with self._comm_lock:
+            self.comm.queries += 1
+            self.comm.routed_pairs += total
+            self.comm.cut_pairs += int(np.count_nonzero(cut))
+        out = np.empty(total, dtype=np.float64)
+        homes = np.unique(home)
+        record_query(total, len(homes))
+        for s in homes:
+            idx = np.flatnonzero(home == s)
+            endpoints = np.unique(np.concatenate([u[idx], v[idx]]))
+            owned_here = self.partition.owners[endpoints] == s
+            container, lookup = self._eval_container(
+                int(s), endpoints[owned_here], endpoints[~owned_here]
+            )
+            out[idx] = self._container_pairs(container, lookup[u[idx]], lookup[v[idx]], kind)
+        return out
+
+    def pair_jaccard(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+    ) -> np.ndarray:
+        """Approximate Jaccard per pair — routed intersections over base degrees."""
+        inter = self.pair_intersections(u, v, estimator=estimator)
+        degrees = self.base_degrees.astype(np.float64)
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        return intersection_to_jaccard(inter, degrees[u], degrees[v])
+
+    def sum_pair_intersections(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        estimator: EstimatorKind | str | None = None,
+    ) -> float:
+        """``Σ |N_u ∩ N_v|`` over all pairs (the sharded triangle-count kernel)."""
+        return float(self.pair_intersections(u, v, estimator=estimator).sum())
+
+    def top_k_similar_batch(
+        self,
+        sources: np.ndarray,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        exclude_self: bool = True,
+    ) -> TopKResult:
+        """Per-source top-k retrieval, scattered over shards and gathered.
+
+        Each source's sketch row is broadcast once per candidate-owning shard
+        (counted shipments); every shard scores the sources against its *own*
+        candidates and selects a local top-k; the per-shard selections are
+        merged under the canonical order (score descending, candidate ID
+        ascending on ties).  Bit-identical to
+        :meth:`repro.engine.PGSession.top_k_similar_batch` with the same
+        ``measure`` (``"jaccard"`` or ``"intersection"``/``"common_neighbors"``).
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if measure not in ("jaccard", "intersection", "common_neighbors"):
+            raise ValueError(
+                f"unknown measure {measure!r}; expected 'jaccard', 'intersection', "
+                "or 'common_neighbors'"
+            )
+        kind = self._resolve_estimator(estimator)
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        if candidates is None:
+            candidates = np.arange(self.num_vertices, dtype=np.int64)
+        else:
+            candidates = np.unique(np.asarray(candidates, dtype=np.int64).ravel())
+        num_sources = sources.shape[0]
+        k = min(int(k), candidates.shape[0])
+        record_topk()
+        with self._comm_lock:
+            self.comm.queries += 1
+        if num_sources == 0 or k == 0:
+            return TopKResult(
+                np.empty((num_sources, k), dtype=np.int64),
+                np.empty((num_sources, k), dtype=np.float64),
+            )
+        degrees = self.base_degrees.astype(np.float64)
+        best_idx = np.full((num_sources, k), -1, dtype=np.int64)
+        best_scores = np.full((num_sources, k), -np.inf, dtype=np.float64)
+        cand_owner = self.partition.owners[candidates]
+        for s in np.unique(cand_owner):
+            cand_s = candidates[cand_owner == s]
+            source_owners = self.partition.owners[sources]
+            local_needed = np.unique(
+                np.concatenate([cand_s, sources[source_owners == s]])
+            )
+            ship = np.unique(sources[source_owners != s])
+            container, lookup = self._eval_container(int(s), local_needed, ship)
+            local_sources = lookup[sources]
+            shard_idx, shard_scores = self._shard_topk(
+                container, lookup, local_sources, sources, cand_s, k, measure,
+                kind, degrees, exclude_self,
+            )
+            # Canonical cross-shard merge: candidate IDs are disjoint across
+            # shards, so sorting by ID then stably by descending score yields
+            # exactly the materialized reference's tie order.
+            merged_idx = np.concatenate([best_idx, shard_idx], axis=1)
+            merged_scores = np.concatenate([best_scores, shard_scores], axis=1)
+            by_id = np.argsort(merged_idx, axis=1, kind="stable")
+            merged_idx = np.take_along_axis(merged_idx, by_id, axis=1)
+            merged_scores = np.take_along_axis(merged_scores, by_id, axis=1)
+            by_score = np.argsort(-merged_scores, axis=1, kind="stable")[:, :k]
+            best_idx = np.take_along_axis(merged_idx, by_score, axis=1)
+            best_scores = np.take_along_axis(merged_scores, by_score, axis=1)
+        invalid = ~np.isfinite(best_scores)
+        best_idx[invalid] = -1
+        best_scores[invalid] = 0.0
+        return TopKResult(best_idx, best_scores)
+
+    def _shard_topk(
+        self,
+        container: NeighborhoodSketches,
+        lookup: np.ndarray,
+        local_sources: np.ndarray,
+        sources: np.ndarray,
+        cand_s: np.ndarray,
+        k: int,
+        measure: str,
+        kind: EstimatorKind,
+        degrees: np.ndarray,
+        exclude_self: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's local top-k over its owned candidates, window-streamed."""
+        num_sources = sources.shape[0]
+        kk = min(k, cand_s.shape[0])
+        best_idx = np.full((num_sources, kk), -1, dtype=np.int64)
+        best_scores = np.full((num_sources, kk), -np.inf, dtype=np.float64)
+        window = max(resolve_chunk_pairs(container) // max(num_sources, 1), 1)
+        for start, stop in chunked_ranges(cand_s.shape[0], window):
+            cw = cand_s[start:stop]
+            width = cw.shape[0]
+            uu = np.repeat(local_sources, width)
+            vv = np.tile(lookup[cw], num_sources)
+            inter = self._container_pairs(container, uu, vv, kind).reshape(num_sources, width)
+            if measure == "jaccard":
+                du = np.repeat(degrees[sources], width).reshape(num_sources, width)
+                dv = np.broadcast_to(degrees[cw], (num_sources, width))
+                scores = intersection_to_jaccard(inter.ravel(), du.ravel(), dv.ravel())
+                scores = scores.reshape(num_sources, width)
+            else:
+                scores = inter
+            if exclude_self:
+                scores = np.where(sources[:, None] == cw[None, :], -np.inf, scores)
+            # Candidates arrive in ascending ID order, so the stable sort of
+            # [running | window] breaks score ties by ascending candidate ID
+            # (the same invariant repro.engine.topk relies on).
+            merged_scores = np.concatenate([best_scores, scores], axis=1)
+            merged_idx = np.concatenate(
+                [best_idx, np.broadcast_to(cw, (num_sources, width))], axis=1
+            )
+            order = np.argsort(-merged_scores, axis=1, kind="stable")[:, :kk]
+            best_scores = np.take_along_axis(merged_scores, order, axis=1)
+            best_idx = np.take_along_axis(merged_idx, order, axis=1)
+        return best_idx, best_scores
+
+    def top_k_similar(
+        self,
+        u: int,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-source convenience over :meth:`top_k_similar_batch`."""
+        result = self.top_k_similar_batch(
+            np.asarray([u], dtype=np.int64), k, measure=measure,
+            candidates=candidates, estimator=estimator,
+        )
+        return result.indices[0], result.scores[0]
+
+    # -------------------------------------------------------------- validation
+    def communication_model(
+        self, sketch_bits_per_vertex: int | None = None
+    ) -> CommunicationVolume:
+        """The §VIII-F communication model evaluated on *this* partitioning.
+
+        Uses the engine's own ``owners`` and (by default) its actual
+        ``bits_per_set``, so after one ``pair_intersections`` query over the
+        graph's edge array the model's ``shipments`` and ``sketch_bytes``
+        equal what :attr:`comm` just measured — the model is validated against
+        the bytes the engine really moves.
+        """
+        return communication_volume(
+            self.graph,
+            num_partitions=self.num_shards,
+            sketch_bits_per_vertex=(
+                self.bits_per_set if sketch_bits_per_vertex is None else sketch_bits_per_vertex
+            ),
+            owners=self.partition.owners,
+        )
+
+    # ------------------------------------------------------------------ gather
+    def to_probgraph(self, estimator: EstimatorKind | str | None = None) -> ProbGraph:
+        """Assemble the shard containers into one full-graph :class:`ProbGraph`.
+
+        The per-shard rows are scattered back into global row order; the
+        result is bit-identical to ``ProbGraph(graph, ...)`` with the same
+        parameters and seed (asserted by the test suite), so it can serve
+        every single-process engine path — including being cached in a
+        :class:`~repro.engine.PGSession` (the ``shards=`` build option).
+        """
+        merged = concat_sketch_rows(self._shards)
+        order = np.concatenate(self.partition.shard_vertices)
+        inverse = np.empty(self.graph.num_vertices, dtype=np.int64)
+        inverse[order] = np.arange(self.graph.num_vertices, dtype=np.int64)
+        return ProbGraph.from_sketches(
+            self.graph,
+            merged.take_rows(inverse),
+            self.params,
+            oriented=self.oriented,
+            seed=self.seed,
+            estimator=estimator if estimator is not None else self.estimator,
+            storage_budget=self.storage_budget,
+            base=self._base,
+            construction_seconds=self.construction_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEngine(n={self.num_vertices}, shards={self.num_shards}, "
+            f"representation={self.params.representation.value}, seed={self.seed})"
+        )
+
+
+def build_probgraph_sharded(
+    graph: CSRGraph,
+    num_shards: int,
+    representation: Representation | str = Representation.BLOOM,
+    storage_budget: float = 0.25,
+    num_hashes: int = 2,
+    num_bits: int | None = None,
+    k: int | None = None,
+    precision: int | None = None,
+    oriented: bool = False,
+    seed: int = 0,
+    estimator: EstimatorKind | str | None = None,
+    partition: str = "hash",
+    pool: ProcessPoolExecutor | None = None,
+    max_workers: int | None = None,
+    transport: str = "auto",
+) -> ProbGraph:
+    """Build a :class:`~repro.core.ProbGraph` with a multiprocess sharded pass.
+
+    Construction cost is split over ``num_shards`` worker processes; the
+    merged result is bit-identical to the in-process constructor.  This is
+    what :meth:`repro.engine.PGSession.probgraph` uses when the session is
+    created with ``shards=``.
+    """
+    engine = ShardedEngine(
+        graph,
+        num_shards,
+        representation=representation,
+        storage_budget=storage_budget,
+        num_hashes=num_hashes,
+        num_bits=num_bits,
+        k=k,
+        precision=precision,
+        oriented=oriented,
+        seed=seed,
+        estimator=estimator,
+        partition=partition,
+        pool=pool,
+        max_workers=max_workers,
+        transport=transport,
+    )
+    return engine.to_probgraph(estimator=estimator)

@@ -15,6 +15,13 @@ from .generators import (
     watts_strogatz_graph,
 )
 from .io import load_graph, read_edge_list, read_matrix_market, read_metis, write_edge_list, write_matrix_market, write_metis
+from .partition import (
+    ShardPartition,
+    partition_from_owners,
+    partition_graph,
+    partition_vertices,
+    partition_vertices_locality,
+)
 from .stats import GraphStats, degree_histogram, degree_skewness, gini_coefficient, graph_stats
 
 __all__ = [
@@ -42,6 +49,11 @@ __all__ = [
     "read_matrix_market",
     "write_matrix_market",
     "load_graph",
+    "ShardPartition",
+    "partition_graph",
+    "partition_from_owners",
+    "partition_vertices",
+    "partition_vertices_locality",
     "GraphStats",
     "graph_stats",
     "degree_histogram",

@@ -4,8 +4,8 @@ The paper evaluates on SNAP, KONECT, DIMACS, Network Repository, and WebGraph
 datasets which are not bundled here (no network access, and several require
 licenses).  Following the substitution policy of DESIGN.md §4, every paper
 dataset is represented by a *seeded synthetic graph* matched on the properties
-that drive ProbGraph's behaviour: vertex count, edge count (density ``m/n``),
-and degree skew.  Dense graphs (econ-*, dimacs-*) use near-uniform dense
+that drive ProbGraph's behaviour: vertex count, edge count (edge factor
+``m/n``), and degree skew.  Dense graphs (econ-*, dimacs-*) use near-uniform dense
 sampling; skewed graphs (bio-*, soc-*, int-*) use Chung–Lu power-law sampling.
 
 Dataset names follow the paper so the Fig. 6 / Fig. 7 harness rows can be
@@ -40,7 +40,12 @@ class DatasetSpec:
 
     @property
     def density(self) -> float:
-        """Average degree ``m/n`` of the original dataset."""
+        """Edge factor ``m/n`` of the original dataset (the paper's Table VIII column).
+
+        Note this is *not* the graph-theoretic density ``2m/(n(n-1))`` that
+        :func:`repro.graph.stats.graph_stats` reports — the name follows the
+        paper's table header.
+        """
         return self.num_edges / self.num_vertices
 
 

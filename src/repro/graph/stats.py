@@ -49,7 +49,14 @@ def gini_coefficient(graph: CSRGraph) -> float:
 
 @dataclass(frozen=True)
 class GraphStats:
-    """Summary statistics of a graph (one row of a dataset-characterization table)."""
+    """Summary statistics of a graph (one row of a dataset-characterization table).
+
+    ``density`` is the true undirected edge density ``2m / (n(n-1))`` — the
+    fraction of possible edges present (1.0 for a complete graph, 0 for
+    ``n < 2``).  The edge factor ``m/n`` — half the average degree, which an
+    earlier version misreported under this name — is available as
+    ``average_degree / 2``.
+    """
 
     num_vertices: int
     num_edges: int
@@ -68,10 +75,11 @@ class GraphStats:
 def graph_stats(graph: CSRGraph) -> GraphStats:
     """Compute the :class:`GraphStats` summary of ``graph``."""
     degs = graph.degrees
+    n = graph.num_vertices
     return GraphStats(
-        num_vertices=graph.num_vertices,
+        num_vertices=n,
         num_edges=graph.num_edges,
-        density=graph.num_edges / graph.num_vertices if graph.num_vertices else 0.0,
+        density=2.0 * graph.num_edges / (n * (n - 1)) if n >= 2 else 0.0,
         max_degree=graph.max_degree,
         average_degree=graph.average_degree,
         degree_skewness=degree_skewness(graph),

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph, WORD_BITS
+from ..graph.partition import partition_vertices
 
 __all__ = ["CommunicationVolume", "partition_vertices", "communication_volume"]
 
@@ -40,16 +41,6 @@ class CommunicationVolume:
     def reduction_factor(self) -> float:
         """How many times less data the sketched execution moves (the paper reports up to ~4×)."""
         return self.csr_bytes / self.sketch_bytes if self.sketch_bytes > 0 else float("inf")
-
-
-def partition_vertices(graph: CSRGraph, num_partitions: int, seed: int = 0) -> np.ndarray:
-    """Random balanced vertex partitioning (hash partitioning, the common default)."""
-    if num_partitions < 1:
-        raise ValueError("num_partitions must be at least 1")
-    rng = np.random.default_rng(seed)
-    owners = np.arange(graph.num_vertices, dtype=np.int64) % num_partitions
-    rng.shuffle(owners)
-    return owners
 
 
 def communication_volume(

@@ -4,7 +4,7 @@ Exports the Bloom-filter, MinHash (k-hash and 1-hash / bottom-k), KMV, and
 HyperLogLog families along with their per-set and whole-graph batch containers.
 """
 
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array
+from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, concat_sketch_rows
 from .bloom import BloomFamily, BloomFilter, BloomNeighborhoodSketches
 from .hashing import HashFamily, MultiplyShiftFamily, hash_to_range, hash_to_unit, hash_u64, splitmix64
 from .hll import HLL_REGISTER_BITS, HLLFamily, HLLNeighborhoodSketches, HyperLogLog
@@ -23,6 +23,7 @@ __all__ = [
     "SketchFamily",
     "NeighborhoodSketches",
     "as_id_array",
+    "concat_sketch_rows",
     "BloomFilter",
     "BloomFamily",
     "BloomNeighborhoodSketches",

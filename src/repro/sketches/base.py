@@ -14,13 +14,21 @@ these two operations, which is exactly the plug-in design of §V.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+import copy
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..graph.csr import ragged_gather
 
-__all__ = ["SetSketch", "SketchFamily", "as_id_array", "ragged_gather", "iter_count_groups"]
+__all__ = [
+    "SetSketch",
+    "SketchFamily",
+    "as_id_array",
+    "ragged_gather",
+    "iter_count_groups",
+    "concat_sketch_rows",
+]
 
 
 def as_id_array(elements: Iterable[int] | np.ndarray) -> np.ndarray:
@@ -121,6 +129,48 @@ class NeighborhoodSketches(abc.ABC):
     #: Fallback per-pair scratch-memory estimate (bytes) used for chunk sizing
     #: when a subclass does not override :attr:`pair_scratch_bytes`.
     _DEFAULT_PAIR_SCRATCH_BYTES = 64
+
+    #: Attribute names of the per-row backing arrays (first axis = sketch row).
+    #: Subclasses declare them to opt into :meth:`take_rows` /
+    #: :func:`concat_sketch_rows` — the row-scatter primitives the sharded
+    #: engine uses to move sketch rows between shard containers.
+    _row_arrays: tuple[str, ...] = ()
+
+    #: Attribute names of the scalar family parameters two containers must
+    #: share for their rows to be comparable (sizes and hash seeds).
+    _param_attrs: tuple[str, ...] = ()
+
+    def family_key(self) -> tuple:
+        """Hashable compatibility identity: container type + family parameters.
+
+        Two containers with equal keys sketch sets under the same hash family
+        and sizes, so rows taken from either may be intersected against each
+        other (the invariant behind shard scatter-gather).
+        """
+        return (type(self).__name__,) + tuple(
+            getattr(self, name) for name in self._param_attrs
+        )
+
+    def take_rows(self, rows: np.ndarray) -> "NeighborhoodSketches":
+        """A new container holding ``rows`` (in the given order), same family.
+
+        Row ``i`` of the result is a copy of row ``rows[i]`` of this container;
+        repeated and arbitrarily-ordered rows are allowed (this is a gather,
+        not a subset).  The result answers every query bit-identically to this
+        container for the corresponding rows — rows are self-contained by
+        design (the load-balancing property of Fig. 1).
+        """
+        if not self._row_arrays:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not declare its row arrays"
+            )
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_sets):
+            raise IndexError("row index out of range")
+        clone = copy.copy(self)
+        for name in self._row_arrays:
+            setattr(clone, name, getattr(self, name)[rows])
+        return clone
 
     @abc.abstractmethod
     def pair_intersections(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
@@ -276,3 +326,33 @@ class NeighborhoodSketches(abc.ABC):
     @abc.abstractmethod
     def total_storage_bits(self) -> int:
         """Total storage of all sketches, in bits."""
+
+
+def concat_sketch_rows(parts: Sequence[NeighborhoodSketches]) -> NeighborhoodSketches:
+    """Stack compatible containers row-wise into one container (the gather step).
+
+    All ``parts`` must be the same container type with identical family
+    parameters (:meth:`NeighborhoodSketches.family_key`); the result holds
+    their rows concatenated in order and is bit-identical, row for row, to the
+    inputs.  This is how the sharded engine assembles per-shard builds into a
+    full sketch set, and how shipped rows are appended to a shard's local
+    container for scatter-gather query evaluation.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("concat_sketch_rows needs at least one container")
+    first = parts[0]
+    if not first._row_arrays:
+        raise NotImplementedError(
+            f"{type(first).__name__} does not declare its row arrays"
+        )
+    for other in parts[1:]:
+        if other.family_key() != first.family_key():
+            raise ValueError(
+                "cannot concatenate sketch containers of different families: "
+                f"{first.family_key()} vs {other.family_key()}"
+            )
+    clone = copy.copy(first)
+    for name in first._row_arrays:
+        setattr(clone, name, np.concatenate([getattr(p, name) for p in parts], axis=0))
+    return clone

@@ -226,6 +226,9 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
     inner loop.
     """
 
+    _row_arrays = ("words", "exact_sizes")
+    _param_attrs = ("num_bits", "num_hashes", "seed")
+
     def __init__(
         self,
         words: np.ndarray,

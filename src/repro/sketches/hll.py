@@ -189,6 +189,9 @@ class HyperLogLog(SetSketch):
 class HLLNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex HLL sketches of a graph, as an ``(n, 2**precision)`` uint8 matrix."""
 
+    _row_arrays = ("registers", "exact_sizes")
+    _param_attrs = ("precision", "seed")
+
     def __init__(self, registers: np.ndarray, precision: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.registers = registers
         self.precision = int(precision)

@@ -98,6 +98,9 @@ class KMVSketch(SetSketch):
 class KMVNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex KMV sketches of a graph, as an ``(n, k)`` sorted float matrix."""
 
+    _row_arrays = ("values", "exact_sizes")
+    _param_attrs = ("k", "seed")
+
     def __init__(self, values: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.values = values
         self.k = int(k)

@@ -117,6 +117,9 @@ class KHashSignature(SetSketch):
 class KHashNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex k-hash signatures of a graph, as an ``(n, k)`` uint64 matrix."""
 
+    _row_arrays = ("signatures", "exact_sizes")
+    _param_attrs = ("k", "seed")
+
     def __init__(self, signatures: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.signatures = signatures
         self.k = int(k)
@@ -354,6 +357,9 @@ class BottomKSketch(SetSketch):
 
 class BottomKNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex bottom-k sketches of a graph, as an ``(n, k)`` sorted uint64 matrix."""
+
+    _row_arrays = ("values", "exact_sizes")
+    _param_attrs = ("k", "seed")
 
     def __init__(self, values: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.values = values

@@ -433,3 +433,121 @@ def test_mismatched_pair_shapes_raise(graph):
     pg = ProbGraph(graph, representation="bloom", seed=3)
     with pytest.raises(ValueError):
         batched_pair_intersections(pg, np.arange(3), np.arange(4))
+
+
+# ---------------------------------------------------------------------------
+# session thread safety
+# ---------------------------------------------------------------------------
+class TestSessionThreadSafety:
+    """Concurrent hammer tests for the PGSession cache lock (ISSUE 5)."""
+
+    def test_concurrent_lookups_lose_nothing(self, graph):
+        import threading
+
+        session = PGSession(max_entries=64)
+        num_threads = 8
+        iterations = 24
+        seeds = [0, 1, 2, 3]
+        representations = ["bloom", "khash", "1hash", "kmv", "hll"]
+        barrier = threading.Barrier(num_threads)
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(iterations):
+                    rep = representations[(worker_id + i) % len(representations)]
+                    seed = seeds[i % len(seeds)]
+                    pg = session.probgraph(graph, representation=rep, seed=seed)
+                    assert pg.seed == seed
+            except BaseException as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = num_threads * iterations
+        distinct_keys = len(representations) * len(seeds)
+        # Consistency: every lookup was a hit or a miss, every miss built
+        # exactly one entry, and no entry was lost or duplicated.
+        assert session.stats.cache_hits + session.stats.cache_misses == total
+        assert session.stats.constructions == session.stats.cache_misses == distinct_keys
+        assert len(session) == distinct_keys
+        assert session.stats.evictions == 0
+
+    def test_concurrent_lookups_and_delta_patches(self, graph):
+        import threading
+
+        from repro.dynamic import DynamicGraph
+
+        dyn = DynamicGraph(graph)
+        rng = np.random.default_rng(5)
+        deltas = []
+        for _ in range(6):
+            edges = np.stack(
+                [
+                    rng.integers(0, graph.num_vertices, size=8),
+                    rng.integers(0, graph.num_vertices, size=8),
+                ],
+                axis=1,
+            )
+            deltas.append(dyn.apply_edges(insertions=edges))
+
+        session = PGSession(max_entries=32)
+        session.probgraph(graph, representation="bloom", seed=0)
+        barrier = threading.Barrier(5)
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                barrier.wait()
+                for seed in range(12):
+                    session.probgraph(graph, representation="khash", seed=seed % 3)
+            except BaseException as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                barrier.wait()
+                for delta in deltas:
+                    session.apply_delta(delta)
+            except BaseException as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert session.stats.cache_hits + session.stats.cache_misses == 4 * 12 + 1
+        assert len(session) <= 32
+
+    def test_default_session_race_free(self, monkeypatch):
+        import threading
+
+        from repro.engine import session as session_module
+
+        monkeypatch.setattr(session_module, "_DEFAULT_SESSION", None)
+        num_threads = 16
+        barrier = threading.Barrier(num_threads)
+        seen: list[PGSession] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            barrier.wait()
+            s = default_session()
+            with lock:
+                seen.append(s)
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == num_threads
+        assert all(s is seen[0] for s in seen)

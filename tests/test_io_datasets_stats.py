@@ -174,6 +174,20 @@ class TestStats:
         assert stats.isolated_vertices == 0
         assert set(stats.as_dict()) >= {"num_vertices", "density", "degree_gini"}
 
+    def test_density_is_true_edge_density(self, k6, ring10):
+        # Regression: density was reported as m/n (half the average degree).
+        # A complete graph has density exactly 1; a cycle has 2m/(n(n-1)).
+        assert graph_stats(k6).density == pytest.approx(1.0)
+        assert graph_stats(ring10).density == pytest.approx(2 * 10 / (10 * 9))
+        # average_degree is unchanged by the fix.
+        assert graph_stats(ring10).average_degree == pytest.approx(2.0)
+
+    def test_density_degenerate_graphs(self):
+        empty = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=0)
+        single = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=1)
+        assert graph_stats(empty).density == 0.0
+        assert graph_stats(single).density == 0.0
+
     def test_regular_graph_has_zero_skew(self, ring10):
         assert degree_skewness(ring10) == pytest.approx(0.0)
         assert gini_coefficient(ring10) == pytest.approx(0.0, abs=1e-9)

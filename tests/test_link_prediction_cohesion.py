@@ -12,6 +12,7 @@ from repro.algorithms import (
     local_clustering_coefficients,
     network_cohesion,
     split_edges,
+    triangle_count,
 )
 from repro.core import ProbGraph
 from repro.graph import CSRGraph, complete_graph, ring_graph, stochastic_block_model
@@ -116,3 +117,58 @@ class TestCohesion:
 
         expected = nx.transitivity(er_graph.to_networkx())
         assert global_transitivity(er_graph) == pytest.approx(expected, rel=1e-6)
+
+    # -- subset-parameter forwarding regression (ISSUE 5 satellite) ----------
+    #: Explicit sketch parameters chosen to differ from what the storage
+    #: budget would resolve to on the induced subgraph, so a dropped kwarg
+    #: changes the subset ProbGraph's parametrization.
+    _SUBSET_PARAMS = [
+        ("bloom", {"num_bits": 512, "num_hashes": 3}),
+        ("khash", {"k": 24}),
+        ("1hash", {"k": 24}),
+        ("kmv", {"k": 24}),
+        ("hll", {"precision": 9}),
+    ]
+
+    @pytest.mark.parametrize("representation,params", _SUBSET_PARAMS)
+    def test_subset_cohesion_forwards_all_sketch_params(
+        self, er_graph, representation, params
+    ):
+        """Subset cohesion must rebuild with the *same* resolved parameters.
+
+        Regression: ``_subset_view`` forwarded ``num_bits``/``k`` but not
+        ``precision``, so HLL subset queries silently re-resolved precision
+        from the storage budget of the (much smaller) subgraph.  The subset
+        path must produce exactly the ProbGraph a caller would build by hand
+        on the induced subgraph with the parent's explicit parameters.
+        """
+        pg = ProbGraph(er_graph, representation, seed=5, **params)
+        subset = np.arange(0, er_graph.num_vertices, 3)
+        expected_pg = ProbGraph(
+            er_graph.subgraph(subset), representation, seed=5, **params
+        )
+        tc = float(triangle_count(expected_pg))
+        subset3 = subset.shape[0] * (subset.shape[0] - 1) * (subset.shape[0] - 2) / 6.0
+        expected = tc / subset3
+        assert network_cohesion(pg, subset=subset) == expected
+
+    @pytest.mark.parametrize("representation,params", _SUBSET_PARAMS)
+    def test_subset_cohesion_session_cache_keys_on_parent_params(
+        self, er_graph, representation, params
+    ):
+        """The session-built subset entry must carry the parent's parameters.
+
+        A second, directly-parametrized lookup of the induced subgraph must
+        *hit* the entry the cohesion query created — a miss means the subset
+        path dropped a parameter and cached under a different key.
+        """
+        from repro.engine import PGSession
+
+        pg = ProbGraph(er_graph, representation, seed=5, **params)
+        subset = np.arange(0, er_graph.num_vertices, 3)
+        session = PGSession()
+        network_cohesion(pg, subset=subset, session=session)
+        assert session.stats.constructions == 1
+        session.probgraph(er_graph.subgraph(subset), representation, seed=5, **params)
+        assert session.stats.cache_hits == 1
+        assert session.stats.constructions == 1

@@ -1,0 +1,349 @@
+"""Tests for the sharded multiprocess engine and the vertex partitioners.
+
+The acceptance bar mirrors the single-process engine's:
+
+* sharded ``pair_intersections`` / ``pair_jaccard`` / ``top_k_similar_batch``
+  must be **bit-identical** to the single-process :class:`PGSession` path for
+  every family × shard count × orientation;
+* the shipment counts and sketch bytes the engine *actually moves* must equal
+  the §VIII-F communication model
+  (:func:`repro.parallel.distributed.communication_volume`) on the same
+  partitioning;
+* ``to_probgraph`` (and the session ``shards=`` build) must hand back a
+  ProbGraph indistinguishable from an in-process construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.algorithms import knn_graph, knn_graph_sharded, triangle_count, triangle_count_sharded
+from repro.core import ProbGraph
+from repro.engine import PGSession, ShardedEngine, build_probgraph_sharded
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    kronecker_graph,
+    partition_from_owners,
+    partition_graph,
+    partition_vertices,
+    partition_vertices_locality,
+)
+from repro.parallel import communication_volume
+from repro.sketches.base import concat_sketch_rows
+
+REPRESENTATIONS = ["bloom", "khash", "1hash", "kmv", "hll"]
+SHARD_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return kronecker_graph(scale=7, edge_factor=5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One worker pool shared by every engine build in this module (fork once)."""
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    rng = np.random.default_rng(77)
+    u = rng.integers(0, graph.num_vertices, size=600).astype(np.int64)
+    v = rng.integers(0, graph.num_vertices, size=600).astype(np.int64)
+    return u, v
+
+
+class TestPartitioners:
+    def test_hash_partition_balanced_and_complete(self, graph):
+        owners = partition_vertices(graph, 4, seed=3)
+        assert owners.shape == (graph.num_vertices,)
+        sizes = np.bincount(owners, minlength=4)
+        assert sizes.sum() == graph.num_vertices
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_hash_partition_deterministic(self, graph):
+        a = partition_vertices(graph, 3, seed=9)
+        b = partition_vertices(graph, 3, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_locality_partition_balanced_and_complete(self, graph):
+        owners = partition_vertices_locality(graph, 4, seed=3)
+        assert owners.shape == (graph.num_vertices,)
+        sizes = np.bincount(owners, minlength=4)
+        assert sizes.sum() == graph.num_vertices
+        # BFS chunking assigns ceil(n/p) vertices to every shard but the last.
+        assert sizes.max() <= -(-graph.num_vertices // 4)
+
+    def test_locality_partition_respects_components(self):
+        # Two disjoint 8-cliques: a BFS chunking into two shards cuts nothing,
+        # while hash partitioning cuts roughly half the edges.
+        a = complete_graph(8).edge_array()
+        b = complete_graph(8).edge_array() + 8
+        g = CSRGraph.from_edges(np.concatenate([a, b]), num_vertices=16)
+        local = partition_from_owners(partition_vertices_locality(g, 2, seed=1), 2)
+        hashed = partition_from_owners(partition_vertices(g, 2, seed=1), 2)
+        assert local.cut_fraction(g) == 0.0
+        assert hashed.cut_fraction(g) > 0.0
+
+    def test_partition_graph_id_maps(self, graph):
+        part = partition_graph(graph, 3, method="locality", seed=5)
+        for s, ids in enumerate(part.shard_vertices):
+            assert np.all(part.owners[ids] == s)
+            assert np.array_equal(part.local_index[ids], np.arange(ids.shape[0]))
+            assert np.all(np.diff(ids) > 0)  # ascending global order
+        assert int(part.shard_sizes().sum()) == graph.num_vertices
+
+    def test_row_block_holds_full_neighborhoods(self, graph):
+        part = partition_graph(graph, 4, seed=2)
+        indptr, indices = part.row_block(graph.indptr, graph.indices, 1)
+        for i, vertex in enumerate(part.shard_vertices[1]):
+            row = indices[indptr[i]:indptr[i + 1]]
+            assert np.array_equal(row, graph.neighbors(int(vertex)))
+
+    def test_invalid_inputs(self, graph):
+        with pytest.raises(ValueError):
+            partition_vertices(graph, 0)
+        with pytest.raises(ValueError):
+            partition_vertices_locality(graph, 0)
+        with pytest.raises(ValueError):
+            partition_graph(graph, 2, method="metis")
+        with pytest.raises(ValueError):
+            partition_from_owners(np.asarray([0, 3]), 2)
+
+
+class TestShardedBitIdentity:
+    @pytest.mark.parametrize("representation", REPRESENTATIONS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("oriented", [False, True])
+    def test_pair_queries_match_single_process(
+        self, graph, pairs, pool, representation, num_shards, oriented
+    ):
+        u, v = pairs
+        session = PGSession()
+        pg = session.probgraph(graph, representation=representation, oriented=oriented, seed=13)
+        engine = ShardedEngine(
+            graph, num_shards, representation=representation, oriented=oriented,
+            seed=13, pool=pool,
+        )
+        assert np.array_equal(
+            engine.pair_intersections(u, v), session.pair_intersections(pg, u, v)
+        )
+        assert np.array_equal(engine.pair_jaccard(u, v), session.pair_jaccard(pg, u, v))
+
+    @pytest.mark.parametrize("estimator", ["AND", "L", "OR"])
+    def test_bloom_estimator_override(self, graph, pairs, pool, estimator):
+        u, v = pairs
+        pg = ProbGraph(graph, representation="bloom", seed=4)
+        engine = ShardedEngine(graph, 3, representation="bloom", seed=4, pool=pool)
+        assert np.array_equal(
+            engine.pair_intersections(u, v, estimator=estimator),
+            pg.pair_intersections(u, v, estimator=estimator),
+        )
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm"])
+    def test_transports_equivalent(self, graph, pairs, pool, transport):
+        u, v = pairs
+        pg = ProbGraph(graph, representation="khash", seed=6)
+        engine = ShardedEngine(
+            graph, 2, representation="khash", seed=6, pool=pool, transport=transport
+        )
+        assert np.array_equal(engine.pair_intersections(u, v), pg.pair_intersections(u, v))
+
+    def test_locality_partition_same_results(self, graph, pairs, pool):
+        u, v = pairs
+        pg = ProbGraph(graph, representation="kmv", seed=8)
+        engine = ShardedEngine(
+            graph, 4, representation="kmv", seed=8, partition="locality", pool=pool
+        )
+        assert np.array_equal(engine.pair_intersections(u, v), pg.pair_intersections(u, v))
+
+    @pytest.mark.parametrize("representation", REPRESENTATIONS)
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("measure", ["jaccard", "intersection"])
+    def test_topk_batch_matches_single_process(
+        self, graph, pool, representation, num_shards, measure
+    ):
+        rng = np.random.default_rng(55)
+        sources = rng.integers(0, graph.num_vertices, size=12).astype(np.int64)
+        session = PGSession()
+        pg = session.probgraph(graph, representation=representation, seed=2)
+        engine = ShardedEngine(
+            graph, num_shards, representation=representation, seed=2, pool=pool
+        )
+        ref = session.top_k_similar_batch(pg, sources, 9, measure=measure)
+        got = engine.top_k_similar_batch(sources, 9, measure=measure)
+        assert np.array_equal(ref.indices, got.indices)
+        assert np.array_equal(ref.scores, got.scores)
+
+    def test_topk_candidate_subset_and_small_k(self, graph, pool):
+        rng = np.random.default_rng(66)
+        sources = rng.integers(0, graph.num_vertices, size=5).astype(np.int64)
+        candidates = rng.integers(0, graph.num_vertices, size=17).astype(np.int64)
+        session = PGSession()
+        pg = session.probgraph(graph, representation="bloom", seed=9)
+        engine = ShardedEngine(graph, 3, representation="bloom", seed=9, pool=pool)
+        ref = session.top_k_similar_batch(pg, sources, 50, candidates=candidates)
+        got = engine.top_k_similar_batch(sources, 50, candidates=candidates)
+        assert np.array_equal(ref.indices, got.indices)
+        assert np.array_equal(ref.scores, got.scores)
+        single_ids, single_scores = engine.top_k_similar(int(sources[0]), 4)
+        ref_ids, ref_scores = session.top_k_similar(pg, int(sources[0]), 4)
+        assert np.array_equal(single_ids, ref_ids)
+        assert np.array_equal(single_scores, ref_scores)
+
+    def test_concurrent_queries_stay_bit_identical(self, graph, pairs, pool):
+        # Regression: evaluation state must be per-call — a shared global→local
+        # lookup would let concurrent queries read each other's row mappings.
+        import threading
+
+        u, v = pairs
+        engine = ShardedEngine(graph, 4, representation="bloom", seed=31, pool=pool)
+        expected = ProbGraph(graph, representation="bloom", seed=31).pair_intersections(u, v)
+        barrier = threading.Barrier(6)
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    assert np.array_equal(engine.pair_intersections(u, v), expected)
+            except BaseException as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert engine.comm.queries == 30
+        assert engine.comm.routed_pairs == 30 * u.shape[0]
+
+    def test_invalid_arguments(self, graph, pool):
+        with pytest.raises(ValueError):
+            ShardedEngine(graph, 0)
+        with pytest.raises(ValueError):
+            ShardedEngine(graph, 2, transport="carrier-pigeon")
+        engine = ShardedEngine(graph, 2, seed=1, pool=pool)
+        with pytest.raises(ValueError):
+            engine.top_k_similar_batch(np.asarray([0]), -1)
+        with pytest.raises(ValueError):
+            engine.top_k_similar_batch(np.asarray([0]), 3, measure="adamic_adar")
+        with pytest.raises(ValueError):
+            engine.pair_intersections(np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestCommunicationAccounting:
+    @pytest.mark.parametrize("method", ["hash", "locality"])
+    def test_engine_shipments_match_model(self, graph, pool, method):
+        engine = ShardedEngine(
+            graph, 4, representation="1hash", seed=3, partition=method, pool=pool
+        )
+        edges = graph.edge_array()
+        engine.comm.reset()
+        engine.pair_intersections(edges[:, 0], edges[:, 1])
+        model = engine.communication_model()
+        assert engine.comm.shipments == model.shipments
+        assert engine.comm.sketch_bytes == model.sketch_bytes
+        assert engine.comm.cut_pairs == model.cut_edges
+        assert engine.comm.routed_pairs == edges.shape[0]
+        # The modeled exact execution always moves more bytes than the sketches.
+        assert model.csr_bytes > model.sketch_bytes
+
+    def test_same_shard_pairs_ship_nothing(self, graph, pool):
+        engine = ShardedEngine(graph, 2, seed=5, pool=pool)
+        owned = engine.partition.shard_vertices[0]
+        engine.comm.reset()
+        engine.pair_intersections(owned[:10], owned[10:20])
+        assert engine.comm.shipments == 0
+        assert engine.comm.sketch_bytes == 0.0
+
+    def test_single_shard_never_ships(self, graph, pairs, pool):
+        u, v = pairs
+        engine = ShardedEngine(graph, 1, seed=5)
+        engine.comm.reset()
+        engine.pair_intersections(u, v)
+        assert engine.comm.shipments == 0
+
+
+class TestGatherAndSession:
+    @pytest.mark.parametrize("representation", REPRESENTATIONS)
+    def test_to_probgraph_container_bit_identical(self, graph, pool, representation):
+        engine = ShardedEngine(graph, 3, representation=representation, seed=7, pool=pool)
+        merged = engine.to_probgraph()
+        direct = ProbGraph(graph, representation=representation, seed=7)
+        for name in direct.sketches._row_arrays:
+            assert np.array_equal(
+                getattr(merged.sketches, name), getattr(direct.sketches, name)
+            ), name
+
+    def test_session_shards_build_bit_identical_and_cached(self, graph, pairs, pool):
+        u, v = pairs
+        sharded_session = PGSession(shards=2, pool=pool)
+        plain_session = PGSession()
+        pg_sharded = sharded_session.probgraph(graph, representation="bloom", seed=11)
+        pg_plain = plain_session.probgraph(graph, representation="bloom", seed=11)
+        assert np.array_equal(
+            sharded_session.pair_intersections(pg_sharded, u, v),
+            plain_session.pair_intersections(pg_plain, u, v),
+        )
+        assert sharded_session.stats.constructions == 1
+        again = sharded_session.probgraph(graph, representation="bloom", seed=11)
+        assert again is pg_sharded
+        assert sharded_session.stats.cache_hits == 1
+        assert sharded_session.stats.constructions == 1
+
+    def test_concat_rejects_mixed_families(self, graph):
+        a = ProbGraph(graph, representation="khash", k=8, seed=1).sketches
+        b = ProbGraph(graph, representation="khash", k=16, seed=1).sketches
+        with pytest.raises(ValueError):
+            concat_sketch_rows([a, b])
+        with pytest.raises(ValueError):
+            concat_sketch_rows([])
+
+    def test_take_rows_bounds(self, graph):
+        sketches = ProbGraph(graph, representation="1hash", seed=1).sketches
+        with pytest.raises(IndexError):
+            sketches.take_rows(np.asarray([graph.num_vertices]))
+
+
+class TestShardedAlgorithms:
+    @pytest.mark.parametrize("oriented", [False, True])
+    def test_triangle_count_sharded_matches_pg(self, graph, pool, oriented):
+        pg = ProbGraph(graph, representation="bloom", oriented=oriented, seed=17)
+        engine = ShardedEngine(
+            graph, 3, representation="bloom", oriented=oriented, seed=17, pool=pool
+        )
+        assert float(triangle_count_sharded(engine)) == pytest.approx(
+            float(triangle_count(pg)), rel=1e-12
+        )
+        assert "sharded" in triangle_count_sharded(engine).method
+
+    @pytest.mark.parametrize("measure", ["jaccard", "common_neighbors"])
+    def test_knn_graph_sharded_matches_single_process(self, graph, pool, measure):
+        sources = np.arange(24, dtype=np.int64)
+        pg = ProbGraph(graph, representation="khash", seed=19)
+        engine = ShardedEngine(graph, 2, representation="khash", seed=19, pool=pool)
+        ref = knn_graph(pg, k=6, measure=measure, sources=sources)
+        got = knn_graph_sharded(engine, k=6, measure=measure, sources=sources)
+        assert np.array_equal(ref.neighbors, got.neighbors)
+        assert np.array_equal(ref.scores, got.scores)
+        assert got.to_csr(graph.num_vertices) == ref.to_csr(graph.num_vertices)
+
+    def test_knn_graph_sharded_rejects_exact_only_measures(self, graph, pool):
+        engine = ShardedEngine(graph, 2, seed=1, pool=pool)
+        with pytest.raises(ValueError):
+            knn_graph_sharded(engine, k=3, measure="adamic_adar")
+
+    def test_build_probgraph_sharded_helper(self, graph, pairs):
+        u, v = pairs
+        pg = build_probgraph_sharded(graph, 2, representation="hll", seed=23)
+        direct = ProbGraph(graph, representation="hll", seed=23)
+        assert np.array_equal(pg.pair_intersections(u, v), direct.pair_intersections(u, v))
+        assert pg.precision == direct.precision
