@@ -53,12 +53,20 @@ from .algorithms import (
     triangle_count_exact,
     triangle_count_sharded,
 )
-from .core import EstimatorKind, ProbGraph, Representation, estimate_triangles
+from .core import (
+    EstimatorKind,
+    ProbGraph,
+    Representation,
+    estimate_triangles,
+    resolve_lsh_params,
+)
 from .dynamic import DynamicGraph, EdgeBatch, EdgeStream, GraphDelta
 from .engine import (
     EngineConfig,
+    LSHIndex,
     PGSession,
     ShardedEngine,
+    ShardedLSHIndex,
     TopKResult,
     build_probgraph_sharded,
     topk_pair_scores,
@@ -76,8 +84,11 @@ __all__ = [
     "EstimatorKind",
     "PGSession",
     "EngineConfig",
+    "LSHIndex",
     "ShardedEngine",
+    "ShardedLSHIndex",
     "build_probgraph_sharded",
+    "resolve_lsh_params",
     "partition_graph",
     "DynamicGraph",
     "EdgeStream",

@@ -33,7 +33,10 @@ from ..engine.topk import topk_per_source
 from ..graph.csr import CSRGraph
 from .similarity import SimilarityMeasure, similarity_scores
 
+from ..core.budget import DEFAULT_LSH_THRESHOLD
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.lsh import LSHIndex
     from ..engine.sharded import ShardedEngine
 
 __all__ = ["KNNGraphResult", "knn_graph", "knn_graph_sharded"]
@@ -86,6 +89,11 @@ def knn_graph(
     estimator: EstimatorKind | str | None = None,
     source_batch: int = DEFAULT_SOURCE_BATCH,
     config: EngineConfig | None = None,
+    method: str = "scan",
+    lsh_index: "LSHIndex | None" = None,
+    lsh_threshold: float = DEFAULT_LSH_THRESHOLD,
+    num_bands: int | None = None,
+    rows_per_band: int | None = None,
 ) -> KNNGraphResult:
     """Build the top-k similarity lists of every source vertex, streamed.
 
@@ -111,28 +119,76 @@ def knn_graph(
         ``source_batch × k`` plus one candidate window.
     config:
         Engine execution policy (chunk/window sizing).
+    method:
+        ``"scan"`` (default) streams every candidate through the top-k
+        selector; ``"lsh"`` probes an :class:`~repro.engine.lsh.LSHIndex`
+        over the ProbGraph's MinHash signatures and scores only the colliding
+        candidates — sublinear per-source cost with the index's S-curve
+        recall contract (Bloom/HLL sketch sets transparently fall back to the
+        scan).  LSH serves the engine measures only (``"jaccard"`` /
+        ``"common_neighbors"``).
+    lsh_index:
+        Pre-built index to probe (e.g. a session-cached
+        :meth:`~repro.engine.PGSession.lsh_index`); built on the fly when
+        omitted.
+    lsh_threshold, num_bands, rows_per_band:
+        Band/row parametrization forwarded to the on-the-fly index
+        construction (see :class:`~repro.engine.lsh.LSHIndex`).
     """
     if k < 0:
         raise ValueError("k must be non-negative")
     if source_batch < 1:
         raise ValueError("source_batch must be at least 1")
+    if method not in ("scan", "lsh"):
+        raise ValueError(f"method must be 'scan' or 'lsh', got {method!r}")
     measure = SimilarityMeasure(measure)
     if sources is None:
         sources = np.arange(graph.num_vertices, dtype=np.int64)
     else:
         sources = np.asarray(sources, dtype=np.int64).ravel()
 
-    def score_chunk(u_chunk: np.ndarray, v_chunk: np.ndarray) -> np.ndarray:
-        chunk_pairs = np.stack([u_chunk, v_chunk], axis=1)
-        return similarity_scores(graph, chunk_pairs, measure=measure, estimator=estimator, config=config)
+    if method == "lsh":
+        if lsh_index is None:
+            from ..engine.lsh import LSHIndex as _LSHIndex
+
+            if not isinstance(graph, ProbGraph):
+                raise ValueError(
+                    "method='lsh' needs a ProbGraph — the bucket tables are "
+                    "built from its sketch signatures"
+                )
+            lsh_index = _LSHIndex(
+                graph, num_bands=num_bands, rows_per_band=rows_per_band,
+                threshold=lsh_threshold,
+            )
+        if measure is SimilarityMeasure.JACCARD:
+            engine_measure = "jaccard"
+        elif measure is SimilarityMeasure.COMMON_NEIGHBORS:
+            engine_measure = "common_neighbors"
+        else:
+            raise ValueError(
+                f"measure {measure.value!r} is not servable through the LSH "
+                "index; use 'jaccard' or 'common_neighbors'"
+            )
 
     neighbor_blocks = []
     score_blocks = []
     for start in range(0, sources.shape[0], source_batch):
         batch = sources[start:start + source_batch]
-        result = topk_per_source(
-            graph, batch, k, candidates=candidates, score=score_chunk, config=config
-        )
+        if method == "lsh":
+            result = lsh_index.topk_similar_batch(
+                batch, k, measure=engine_measure, candidates=candidates,
+                estimator=estimator, config=config,
+            )
+        else:
+            def score_chunk(u_chunk: np.ndarray, v_chunk: np.ndarray) -> np.ndarray:
+                chunk_pairs = np.stack([u_chunk, v_chunk], axis=1)
+                return similarity_scores(
+                    graph, chunk_pairs, measure=measure, estimator=estimator, config=config
+                )
+
+            result = topk_per_source(
+                graph, batch, k, candidates=candidates, score=score_chunk, config=config
+            )
         neighbor_blocks.append(result.indices)
         score_blocks.append(result.scores)
     if neighbor_blocks:

@@ -16,13 +16,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..graph.csr import CSRGraph, WORD_BITS
 
 __all__ = [
     "BudgetResolution",
+    "DEFAULT_LSH_THRESHOLD",
+    "LSHResolution",
     "resolve_bloom_bits",
     "resolve_minhash_k",
     "resolve_hll_precision",
+    "resolve_lsh_params",
+    "lsh_collision_probability",
     "relative_memory",
 ]
 
@@ -30,6 +36,13 @@ __all__ = [
 MIN_BLOOM_BITS = 64
 #: Smallest useful MinHash / KMV sketch.
 MIN_SKETCH_K = 4
+#: Default LSH S-curve target.  Neighborhood-overlap similarities on real
+#: graphs sit far below near-duplicate-dedup levels (top-k Jaccard winners are
+#: often 0.1–0.5), so the default leans hard toward recall: for ``k = 16``
+#: slots it resolves to ``(b, r) = (16, 1)``, where any pair agreeing on at
+#: least one signature slot — i.e. any pair with a nonzero k-hash similarity
+#: estimate — is guaranteed to collide.
+DEFAULT_LSH_THRESHOLD = 0.2
 
 
 @dataclass(frozen=True)
@@ -104,3 +117,87 @@ def resolve_hll_precision(graph: CSRGraph, storage_budget: float) -> tuple[int, 
 def relative_memory(graph: CSRGraph, total_sketch_bits: int) -> float:
     """Sketch storage relative to the CSR storage of ``graph``."""
     return total_sketch_bits / graph.storage_bits if graph.storage_bits else 0.0
+
+
+# ---------------------------------------------------------------------------
+# LSH banding parametrization
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LSHResolution:
+    """Outcome of mapping a target similarity threshold to a band/row split.
+
+    A banding index slices a ``k``-slot MinHash signature into ``num_bands``
+    bands of ``rows_per_band`` rows (``num_bands * rows_per_band <= k``; the
+    trailing ``k - num_bands * rows_per_band`` slots stay unused by the
+    index).  Two signatures collide when at least one band agrees on all of
+    its rows; at per-slot agreement probability ``s`` (the Jaccard similarity
+    for k-hash signatures) that happens with probability
+    ``1 - (1 - s**rows_per_band)**num_bands`` — the classic S-curve whose
+    steep rise sits near ``(1/num_bands)**(1/rows_per_band)``.
+    """
+
+    num_bands: int
+    rows_per_band: int
+    signature_slots: int
+    target_threshold: float
+
+    @property
+    def slots_used(self) -> int:
+        """Signature slots the index actually consumes (``num_bands * rows_per_band``)."""
+        return self.num_bands * self.rows_per_band
+
+    @property
+    def curve_threshold(self) -> float:
+        """The S-curve midpoint ``(1/b)**(1/r)`` this split actually realizes."""
+        return (1.0 / self.num_bands) ** (1.0 / self.rows_per_band)
+
+    def collision_probability(self, similarity: float) -> float:
+        """``P[candidate]`` at per-slot agreement probability ``similarity``."""
+        return lsh_collision_probability(similarity, self.num_bands, self.rows_per_band)
+
+
+def lsh_collision_probability(similarity, num_bands: int, rows_per_band: int):
+    """The banding S-curve ``1 - (1 - s**r)**b`` (scalar or array ``s``).
+
+    For k-hash MinHash signatures this is the exact probability (over the hash
+    seeds) that two sets of Jaccard similarity ``s`` share at least one band;
+    for sorted-value sketches (bottom-k, KMV) it is the large-set
+    approximation of the same event.
+    """
+    s = np.asarray(similarity, dtype=np.float64)
+    p = 1.0 - (1.0 - s**int(rows_per_band)) ** int(num_bands)
+    return float(p) if np.isscalar(similarity) or p.ndim == 0 else p
+
+
+def resolve_lsh_params(
+    signature_slots: int, target_threshold: float = DEFAULT_LSH_THRESHOLD
+) -> LSHResolution:
+    """Pick the band/row split whose S-curve midpoint best matches a threshold.
+
+    Given ``signature_slots`` (the sketch's ``k``) and a target similarity
+    ``t`` above which pairs should be retrieved with high probability, this
+    scans every feasible ``rows_per_band`` ``r`` with ``num_bands = k // r``
+    and keeps the split whose curve midpoint ``(1/b)**(1/r)`` is closest to
+    ``t``; ties prefer more bands (higher recall at equal distance).  The
+    standard construction of the shingle→MinHash dedup pipeline, applied to
+    the neighborhood signatures here.
+    """
+    k = int(signature_slots)
+    if k < 1:
+        raise ValueError(f"signature_slots must be positive, got {signature_slots}")
+    if not 0.0 < target_threshold < 1.0:
+        raise ValueError(
+            f"target_threshold must lie in (0, 1), got {target_threshold}"
+        )
+    best: LSHResolution | None = None
+    best_gap = float("inf")
+    for r in range(1, k + 1):
+        b = k // r
+        resolution = LSHResolution(b, r, k, float(target_threshold))
+        gap = abs(resolution.curve_threshold - target_threshold)
+        # Strict < keeps the earlier (smaller-r, more-bands) split on ties.
+        if gap < best_gap:
+            best = resolution
+            best_gap = gap
+    assert best is not None
+    return best

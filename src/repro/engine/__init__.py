@@ -18,6 +18,10 @@ This package is the execution layer between the sketch containers
   serves queries by routing each pair to the shard owning its sketch rows
   (scatter-gather, bit-identical to the single-process path — §VIII-F for
   real on one machine);
+* :class:`LSHIndex` / :class:`ShardedLSHIndex` band the MinHash signature
+  matrices into bucket tables and serve top-k/kNN by scoring only colliding
+  candidates — sublinear probes with an S-curve recall contract, falling
+  back to the full scan for Bloom/HLL or ``exact=True``;
 * :func:`engine_stats` exposes process-wide activity counters so the engine
   path is observable.
 
@@ -39,19 +43,37 @@ from .batch import (
     scatter_add_pair_intersections,
     sum_pair_intersections,
 )
+from .lsh import (
+    DEFAULT_LSH_THRESHOLD,
+    LSHIndex,
+    LSHIndexStats,
+    select_topk_rows,
+    signature_matrix,
+)
 from .session import PGSession, SessionStats, default_session
-from .sharded import ShardCommStats, ShardedEngine, build_probgraph_sharded
+from .sharded import (
+    ShardCommStats,
+    ShardedEngine,
+    ShardedLSHIndex,
+    build_probgraph_sharded,
+)
 from .topk import TopKResult, materialized_topk, topk_pair_scores, topk_per_source
 
 __all__ = [
+    "DEFAULT_LSH_THRESHOLD",
     "DEFAULT_MEMORY_BUDGET_BYTES",
     "EngineConfig",
     "EngineStats",
+    "LSHIndex",
+    "LSHIndexStats",
     "PGSession",
     "SessionStats",
     "ShardCommStats",
     "ShardedEngine",
+    "ShardedLSHIndex",
     "build_probgraph_sharded",
+    "select_topk_rows",
+    "signature_matrix",
     "TopKResult",
     "default_session",
     "engine_stats",

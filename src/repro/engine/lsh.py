@@ -1,0 +1,548 @@
+"""MinHash LSH banding index — sublinear candidate generation for top-k/kNN.
+
+Every serving-path retrieval (`top_k_similar`, `top_k_similar_batch`,
+`knn_graph`) streams *all* ``n`` candidates of a query through the ``O(k)``
+selector, so per-query cost is linear in the vertex count no matter how few
+vertices are actually similar.  This module adds the classic Broder-style
+band/row construction on top of the signature matrices the sketch containers
+already store:
+
+* the ``(n, k)`` signature matrix (k-hash MinHash signatures, or the sorted
+  retained values of bottom-k / KMV sketches) is sliced into ``b`` bands of
+  ``r`` rows (``b·r ≤ k``);
+* each band of each vertex is hashed to a 64-bit bucket key; two vertices are
+  *candidates* for each other iff they share at least one band key.  For
+  k-hash signatures the slots are independent permutations, so a pair with
+  Jaccard similarity ``s`` collides with probability exactly
+  ``1 − (1 − s^r)^b`` — the tunable S-curve of
+  :func:`repro.core.budget.resolve_lsh_params`.  Two hard guarantees follow:
+  a pair whose signatures agree on *every* used slot always collides, and by
+  pigeonhole any pair with fewer than ``b`` mismatched slots collides too;
+* a query probes its own ``b`` bucket keys and scores **only the colliding
+  candidates** through the existing pure estimators — identical floats to the
+  full scan, restricted to the candidate set — then selects under the same
+  canonical order (score descending, ID ascending on ties) as
+  :mod:`repro.engine.topk`.
+
+Bloom and HyperLogLog containers store no per-element values, so no banding
+index can be built over them: the index transparently **falls back to the
+existing full-scan path** (bit-identical to
+:meth:`repro.engine.PGSession.top_k_similar_batch`), as it does when a caller
+requests ``exact=True``.
+
+The index is delta-aware: after the underlying :class:`~repro.core.ProbGraph`
+is patched (:meth:`ProbGraph.apply_delta <repro.core.ProbGraph.apply_delta>`),
+:meth:`LSHIndex.apply_delta` re-keys exactly the touched rows' bucket entries,
+producing tables bit-identical to a fresh build on the new graph.
+:meth:`repro.engine.PGSession.apply_delta` drives this automatically for
+session-cached indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.budget import DEFAULT_LSH_THRESHOLD, LSHResolution, resolve_lsh_params
+from ..core.estimators import EstimatorKind
+from ..core.probgraph import ProbGraph
+from ..parallel.executor import chunked_ranges
+from ..sketches.base import NeighborhoodSketches
+from ..sketches.hashing import splitmix64
+from ..sketches.kmv import KMVNeighborhoodSketches
+from ..sketches.minhash import BottomKNeighborhoodSketches, KHashNeighborhoodSketches
+from .batch import EngineConfig, record_query, record_topk, resolve_chunk_pairs
+from .topk import TopKResult, _resolve_score_fn, materialized_topk, topk_per_source
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dynamic.graph import GraphDelta
+
+__all__ = [
+    "DEFAULT_LSH_THRESHOLD",
+    "LSHIndexStats",
+    "LSHIndex",
+    "signature_matrix",
+    "select_topk_rows",
+]
+
+#: Base seed of the band-key hash chain (any fixed constant works; band and
+#: column offsets below make every chain step a distinct hash function).
+_KEY_SEED = 0x1517
+
+_U64_EMPTY = np.uint64(np.iinfo(np.uint64).max)
+
+
+def signature_matrix(
+    sketches: NeighborhoodSketches,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """The bandable ``(n, k)`` uint64 signature view of a container, or ``None``.
+
+    Returns ``(matrix, empty_mask)``: k-hash containers expose their MinHash
+    signatures directly; bottom-k and KMV containers expose their sorted
+    retained values (KMV's unit-interval floats are viewed as raw uint64 bits
+    — equality of positive IEEE doubles is equality of their bit patterns).
+    Bloom filters and HyperLogLog registers hold no per-element values that
+    survive into bands, so they return ``None`` and callers fall back to the
+    full scan.
+
+    The view aliases the container's live arrays — recompute it after the
+    container is patched or grown rather than holding on to it.
+    """
+    if isinstance(sketches, KHashNeighborhoodSketches):
+        return sketches.signatures, sketches.signatures == _U64_EMPTY
+    if isinstance(sketches, BottomKNeighborhoodSketches):
+        return sketches.values, sketches.values == _U64_EMPTY
+    if isinstance(sketches, KMVNeighborhoodSketches):
+        values = np.ascontiguousarray(sketches.values)
+        return values.view(np.uint64), sketches.values >= 2.0
+    return None
+
+
+@dataclass
+class LSHIndexStats:
+    """Observable probe behaviour of one :class:`LSHIndex`."""
+
+    queries: int = 0
+    probed_sources: int = 0
+    candidates_scored: int = 0
+    full_scan_fallbacks: int = 0
+
+    @property
+    def mean_candidates(self) -> float:
+        """Average scored candidates per probed source — the sublinearity measure."""
+        if self.probed_sources == 0:
+            return 0.0
+        return self.candidates_scored / self.probed_sources
+
+
+def select_topk_rows(
+    sources: np.ndarray,
+    candidate_lists: list[np.ndarray],
+    flat_scores: np.ndarray,
+    k: int,
+    exclude_self: bool = True,
+) -> TopKResult:
+    """Canonical per-source selection over ragged candidate lists.
+
+    ``candidate_lists[i]`` holds source ``i``'s sorted unique candidate IDs and
+    ``flat_scores`` their scores, concatenated in the same order.  Selection is
+    exactly :func:`repro.engine.topk.materialized_topk` per row — score
+    descending, candidate ID ascending on ties — padded with ``-1`` (score
+    ``0.0``) to width ``k``, so a result row equals the full-scan
+    :func:`~repro.engine.topk.topk_per_source` row whenever the candidate list
+    covers that row's winners.  Shared by the single-process and sharded LSH
+    paths so both select bit-identically.
+    """
+    if not np.all(np.isfinite(flat_scores)):
+        raise ValueError(
+            "top-k scores must be finite (-inf/nan are reserved as the "
+            "padding/exclusion sentinel)"
+        )
+    num_sources = sources.shape[0]
+    best_idx = np.full((num_sources, k), -1, dtype=np.int64)
+    best_scores = np.zeros((num_sources, k), dtype=np.float64)
+    offset = 0
+    for i in range(num_sources):
+        cand = candidate_lists[i]
+        scores = flat_scores[offset:offset + cand.shape[0]]
+        offset += cand.shape[0]
+        if exclude_self:
+            scores = np.where(cand == sources[i], -np.inf, scores)
+        positions, values = materialized_topk(scores, min(k, cand.shape[0]))
+        keep = np.isfinite(values)
+        positions, values = positions[keep], values[keep]
+        best_idx[i, : positions.shape[0]] = cand[positions]
+        best_scores[i, : positions.shape[0]] = values
+    return TopKResult(best_idx, best_scores)
+
+
+class LSHIndex:
+    """Band/row MinHash-LSH bucket tables over one sketch container.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.core.ProbGraph` (the serving shape: probing *and*
+        scoring) or a bare :class:`~repro.sketches.base.NeighborhoodSketches`
+        container (probe-only — the sharded engine builds one per shard).
+    num_bands, rows_per_band:
+        Explicit band/row split (``num_bands · rows_per_band ≤ k``).  When
+        omitted, :func:`repro.core.budget.resolve_lsh_params` picks the split
+        whose S-curve midpoint is closest to ``threshold``.
+    threshold:
+        Target similarity for the parameter resolution (ignored when both
+        ``num_bands`` and ``rows_per_band`` are given).
+    vertex_ids:
+        Global vertex ID of each container row (defaults to ``arange``); the
+        sharded engine passes each shard's owned-vertex list so per-shard
+        tables hold globally-addressed entries.
+
+    For Bloom/HLL containers no tables are built (:attr:`banded` is False) and
+    every query transparently takes the full-scan path.
+    """
+
+    def __init__(
+        self,
+        source: ProbGraph | NeighborhoodSketches,
+        num_bands: int | None = None,
+        rows_per_band: int | None = None,
+        threshold: float = DEFAULT_LSH_THRESHOLD,
+        vertex_ids: np.ndarray | None = None,
+    ) -> None:
+        if isinstance(source, ProbGraph):
+            self.pg: ProbGraph | None = source
+            self.sketches: NeighborhoodSketches = source.sketches
+        else:
+            self.pg = None
+            self.sketches = source
+        self.threshold = float(threshold)
+        self.stats = LSHIndexStats()
+        if vertex_ids is None:
+            vertex_ids = np.arange(self.sketches.num_sets, dtype=np.int64)
+        else:
+            vertex_ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+            if vertex_ids.shape[0] != self.sketches.num_sets:
+                raise ValueError(
+                    f"vertex_ids has {vertex_ids.shape[0]} entries for a container "
+                    f"with {self.sketches.num_sets} rows"
+                )
+        self.vertex_ids = vertex_ids
+        sig = signature_matrix(self.sketches)
+        if sig is None:
+            if num_bands is not None or rows_per_band is not None:
+                raise ValueError(
+                    f"{type(self.sketches).__name__} stores no signature matrix; "
+                    "banding parameters are not applicable (queries fall back to "
+                    "the full scan)"
+                )
+            self.resolution: LSHResolution | None = None
+            self._keys = np.empty(0, dtype=np.uint64)
+            self._verts = np.empty(0, dtype=np.int64)
+            self._num_rows = self.sketches.num_sets
+            return
+        slots = sig[0].shape[1]
+        self.resolution = _resolve_band_split(slots, num_bands, rows_per_band, threshold)
+        self._rebuild()
+
+    # ------------------------------------------------------------- properties
+    @property
+    def banded(self) -> bool:
+        """Whether bucket tables exist (False → every query is a full scan)."""
+        return self.resolution is not None
+
+    @property
+    def num_bands(self) -> int:
+        """Bands per signature (0 for the full-scan fallback)."""
+        return self.resolution.num_bands if self.resolution is not None else 0
+
+    @property
+    def rows_per_band(self) -> int:
+        """Signature slots hashed together per band (0 for the full-scan fallback)."""
+        return self.resolution.rows_per_band if self.resolution is not None else 0
+
+    @property
+    def num_entries(self) -> int:
+        """Total ``(band, vertex)`` bucket entries across all tables."""
+        return int(self._keys.shape[0])
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of distinct bucket keys across all bands."""
+        if self._keys.shape[0] == 0:
+            return 0
+        return int(np.unique(self._keys).shape[0])
+
+    # ------------------------------------------------------------ table build
+    def band_keys(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(len(rows), b)`` bucket keys + validity mask for container rows.
+
+        Key ``[i, j]`` chains the splitmix64 finalizer over band ``j``'s
+        ``r`` signature slots of row ``rows[i]`` (each chain step seeded by
+        its column, so bands hash to disjoint key spaces).  A band is *valid*
+        when at least one of its slots is non-empty; empty bands (isolated or
+        sentinel-only rows) produce no bucket entries and never probe, which
+        keeps all-empty vertices from colliding with each other.
+
+        Keys depend only on the family parameters and the band split, so keys
+        computed on one container probe any compatible container's tables —
+        the routed-probe contract of the sharded engine.
+        """
+        sig = signature_matrix(self.sketches)
+        assert sig is not None and self.resolution is not None
+        matrix, empty = sig
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        sub = matrix[rows]
+        sub_empty = empty[rows]
+        b, r = self.resolution.num_bands, self.resolution.rows_per_band
+        keys = np.empty((rows.shape[0], b), dtype=np.uint64)
+        valid = np.empty((rows.shape[0], b), dtype=bool)
+        for band in range(b):
+            lo = band * r
+            h = splitmix64(sub[:, lo], seed=_KEY_SEED + lo)
+            for col in range(lo + 1, lo + r):
+                h = splitmix64(h ^ sub[:, col], seed=_KEY_SEED + col)
+            keys[:, band] = h
+            valid[:, band] = ~sub_empty[:, lo:lo + r].all(axis=1)
+        return keys, valid
+
+    def _entries_for_rows(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flat (keys, vertex IDs) bucket entries of the given container rows."""
+        keys, valid = self.band_keys(rows)
+        flat = valid.ravel()
+        verts = np.repeat(self.vertex_ids[rows], self.num_bands)[flat]
+        return keys.ravel()[flat], verts
+
+    def _store_sorted(self, keys: np.ndarray, verts: np.ndarray) -> None:
+        """Canonical entry order: by key, then vertex ID — rebuild/patch agree."""
+        order = np.lexsort((verts, keys))
+        self._keys = keys[order]
+        self._verts = verts[order]
+
+    def _rebuild(self) -> None:
+        rows = np.arange(self.sketches.num_sets, dtype=np.int64)
+        self._store_sorted(*self._entries_for_rows(rows))
+        self._num_rows = self.sketches.num_sets
+
+    # --------------------------------------------------------------- patching
+    def apply_delta(self, delta: "GraphDelta") -> int:
+        """Re-key the bucket entries of exactly the delta's touched rows.
+
+        Call *after* the underlying :class:`~repro.core.ProbGraph` was patched
+        to ``delta.graph`` (checked via the fingerprint) — the signature matrix
+        already holds the new rows, so recomputing the touched rows' band keys
+        and splicing them into the sorted entry arrays yields tables
+        bit-identical to a fresh build on the new graph.  Rows appended by a
+        vertex-growing delta are indexed too.  Returns the number of re-keyed
+        rows; the full-scan fallback has no tables and returns 0.
+
+        :meth:`repro.engine.PGSession.apply_delta` calls this automatically
+        for every session-cached index of the delta's graph.
+        """
+        if self.pg is None:
+            raise ValueError("apply_delta needs a ProbGraph-backed index")
+        if self.pg.graph.fingerprint() != delta.new_fingerprint:
+            raise ValueError(
+                "patch the ProbGraph first: the index's graph does not match "
+                "the delta's post-state"
+            )
+        if self.sketches.num_sets > self.vertex_ids.shape[0]:
+            # pg-backed indexes address rows by global vertex ID, so grown
+            # rows extend the identity mapping.
+            self.vertex_ids = np.concatenate([
+                self.vertex_ids,
+                np.arange(self.vertex_ids.shape[0], self.sketches.num_sets, dtype=np.int64),
+            ])
+        if not self.banded:
+            self._num_rows = self.sketches.num_sets
+            return 0
+        if self.pg.oriented:
+            # ProbGraph.apply_delta already ran, so the per-delta memo holds
+            # the oriented row diff; the base argument is only used on a miss.
+            _, touched = delta.oriented_update(self.pg._base)
+        else:
+            touched = np.union1d(delta.ins_vertices, delta.dirty_vertices)
+        touched = np.asarray(touched, dtype=np.int64)
+        if self.sketches.num_sets > self._num_rows:
+            grown = np.arange(self._num_rows, self.sketches.num_sets, dtype=np.int64)
+            touched = np.union1d(touched, grown)
+        if touched.size == 0:
+            return 0
+        keep = ~np.isin(self._verts, self.vertex_ids[touched])
+        new_keys, new_verts = self._entries_for_rows(touched)
+        self._store_sorted(
+            np.concatenate([self._keys[keep], new_keys]),
+            np.concatenate([self._verts[keep], new_verts]),
+        )
+        self._num_rows = self.sketches.num_sets
+        return int(touched.size)
+
+    # ----------------------------------------------------------------- probes
+    def probe(self, keys: np.ndarray, valid: np.ndarray) -> list[np.ndarray]:
+        """Per query row: sorted unique vertex IDs sharing at least one band key.
+
+        ``keys`` / ``valid`` are :meth:`band_keys` outputs (computed on this or
+        any family-compatible container).  The query's own entry is *not*
+        excluded — callers drop or keep self-matches as their semantics need.
+        """
+        left = np.searchsorted(self._keys, keys, side="left")
+        right = np.searchsorted(self._keys, keys, side="right")
+        right = np.where(valid, right, left)  # invalid bands match nothing
+        out: list[np.ndarray] = []
+        for i in range(keys.shape[0]):
+            spans = [
+                self._verts[lo:hi]
+                for lo, hi in zip(left[i], right[i])
+                if hi > lo
+            ]
+            if spans:
+                out.append(np.unique(np.concatenate(spans)))
+            else:
+                out.append(np.empty(0, dtype=np.int64))
+        return out
+
+    def query_candidates_batch(
+        self,
+        sources: np.ndarray,
+        candidates: np.ndarray | None = None,
+        exclude_self: bool = True,
+    ) -> list[np.ndarray]:
+        """Colliding candidates of every source, as sorted unique ID arrays.
+
+        ``sources`` are container rows (global IDs for the default
+        ``vertex_ids``).  The full-scan fallback returns the whole candidate
+        pool for every source — the same set the exact path scores.  An
+        explicit ``candidates`` pool restricts the result to that pool.
+        """
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        if candidates is not None:
+            candidates = np.unique(np.asarray(candidates, dtype=np.int64).ravel())
+        if not self.banded:
+            pool = (
+                candidates
+                if candidates is not None
+                else np.arange(self.sketches.num_sets, dtype=np.int64)
+            )
+            return [
+                pool[pool != s] if exclude_self else pool.copy() for s in sources
+            ]
+        keys, valid = self.band_keys(sources)
+        found = self.probe(keys, valid)
+        out = []
+        for s, cand in zip(sources, found):
+            if candidates is not None:
+                cand = np.intersect1d(cand, candidates, assume_unique=True)
+            if exclude_self:
+                cand = cand[cand != s]
+            out.append(cand)
+        return out
+
+    def query_candidates(
+        self,
+        u: int,
+        candidates: np.ndarray | None = None,
+        exclude_self: bool = True,
+    ) -> np.ndarray:
+        """Sorted unique candidate IDs colliding with vertex ``u`` on ≥1 band."""
+        return self.query_candidates_batch(
+            np.asarray([u], dtype=np.int64), candidates=candidates,
+            exclude_self=exclude_self,
+        )[0]
+
+    # ---------------------------------------------------------------- serving
+    def topk_similar_batch(
+        self,
+        sources: np.ndarray,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        exclude_self: bool = True,
+        exact: bool = False,
+        config: EngineConfig | None = None,
+    ) -> TopKResult:
+        """Per-source top-k retrieval scoring only the colliding candidates.
+
+        Returns the same ``(len(sources), k)`` canonical-order shape as
+        :func:`repro.engine.topk.topk_per_source` (``-1``/``0.0`` padded).
+        Scores are the same floats the full scan produces (same pure
+        estimators on the same rows) — only the candidate set differs, by the
+        S-curve recall contract.  With ``exact=True``, or on a Bloom/HLL
+        container, the call routes to the full-scan path and is bit-identical
+        to :meth:`repro.engine.PGSession.top_k_similar_batch`.
+        """
+        if self.pg is None:
+            raise ValueError(
+                "this index was built over a bare container (probe-only); "
+                "scoring needs a ProbGraph-backed index"
+            )
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        if exact or not self.banded:
+            self.stats.queries += 1
+            self.stats.full_scan_fallbacks += 1
+            return topk_per_source(
+                self.pg, sources, k, candidates=candidates, score=measure,
+                estimator=estimator, exclude_self=exclude_self, config=config,
+            )
+        pool_size = (
+            np.unique(np.asarray(candidates, dtype=np.int64)).shape[0]
+            if candidates is not None
+            else self.pg.num_vertices
+        )
+        k = min(int(k), pool_size)
+        record_topk()
+        self.stats.queries += 1
+        if sources.shape[0] == 0 or k == 0:
+            return TopKResult(
+                np.empty((sources.shape[0], k), dtype=np.int64),
+                np.empty((sources.shape[0], k), dtype=np.float64),
+            )
+        cand_lists = self.query_candidates_batch(
+            sources, candidates=candidates, exclude_self=False
+        )
+        counts = np.asarray([c.shape[0] for c in cand_lists], dtype=np.int64)
+        total = int(counts.sum())
+        self.stats.probed_sources += sources.shape[0]
+        self.stats.candidates_scored += total
+        flat_scores = np.empty(total, dtype=np.float64)
+        if total:
+            u_flat = np.repeat(sources, counts)
+            v_flat = np.concatenate(cand_lists)
+            score_fn = _resolve_score_fn(self.pg, measure, estimator)
+            windows = chunked_ranges(total, resolve_chunk_pairs(self.sketches, config))
+            record_query(total, len(windows))
+            for start, stop in windows:
+                flat_scores[start:stop] = score_fn(u_flat[start:stop], v_flat[start:stop])
+        else:
+            record_query(0, 0)
+        return select_topk_rows(sources, cand_lists, flat_scores, k, exclude_self)
+
+    def topk_similar(
+        self,
+        u: int,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        exact: bool = False,
+        config: EngineConfig | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-source convenience over :meth:`topk_similar_batch`."""
+        result = self.topk_similar_batch(
+            np.asarray([u], dtype=np.int64), k, measure=measure,
+            candidates=candidates, estimator=estimator, exact=exact, config=config,
+        )
+        return result.indices[0], result.scores[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.banded:
+            return f"LSHIndex(rows={self.sketches.num_sets}, fallback=full-scan)"
+        return (
+            f"LSHIndex(rows={self.sketches.num_sets}, b={self.num_bands}, "
+            f"r={self.rows_per_band}, entries={self.num_entries})"
+        )
+
+
+def _resolve_band_split(
+    slots: int,
+    num_bands: int | None,
+    rows_per_band: int | None,
+    threshold: float,
+) -> LSHResolution:
+    """Validate an explicit (b, r) split or resolve one from the threshold."""
+    if num_bands is None and rows_per_band is None:
+        return resolve_lsh_params(slots, threshold)
+    if num_bands is None or rows_per_band is None:
+        raise ValueError("pass both num_bands and rows_per_band, or neither")
+    b, r = int(num_bands), int(rows_per_band)
+    if b < 1 or r < 1:
+        raise ValueError(f"num_bands and rows_per_band must be positive, got ({b}, {r})")
+    if b * r > slots:
+        raise ValueError(
+            f"num_bands * rows_per_band = {b * r} exceeds the signature's "
+            f"{slots} slots"
+        )
+    return LSHResolution(b, r, slots, float(threshold))

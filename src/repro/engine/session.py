@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.budget import DEFAULT_LSH_THRESHOLD
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import (
     ProbGraph,
@@ -47,6 +48,7 @@ from ..graph.csr import CSRGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..dynamic.graph import GraphDelta
+    from .lsh import LSHIndex
 from .batch import (
     EngineConfig,
     batched_pair_intersections,
@@ -68,6 +70,10 @@ class SessionStats:
     cache_misses: int = 0
     evictions: int = 0
     delta_patches: int = 0
+    lsh_constructions: int = 0
+    lsh_hits: int = 0
+    lsh_patches: int = 0
+    lsh_invalidations: int = 0
 
 
 class PGSession:
@@ -129,6 +135,7 @@ class PGSession:
         self.pool = pool
         self.stats = SessionStats()
         self._cache: OrderedDict[tuple, ProbGraph] = OrderedDict()
+        self._lsh_cache: OrderedDict[tuple, "LSHIndex"] = OrderedDict()
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------ construction
@@ -224,6 +231,68 @@ class PGSession:
                 self.stats.evictions += 1
             return pg
 
+    def lsh_index(
+        self,
+        pg: ProbGraph,
+        num_bands: int | None = None,
+        rows_per_band: int | None = None,
+        threshold: float = DEFAULT_LSH_THRESHOLD,
+    ) -> "LSHIndex":
+        """Build-or-reuse an :class:`~repro.engine.lsh.LSHIndex` over ``pg``.
+
+        Indexes are cached alongside the sketch sets, keyed by the sketch
+        set's identity (:meth:`ProbGraph.cache_key
+        <repro.core.ProbGraph.cache_key>`) plus the resolved ``(num_bands,
+        rows_per_band)`` split — a ``threshold`` and the explicit split it
+        resolves to hit the *same* entry.  Cached indexes ride along with
+        :meth:`apply_delta`: when the underlying sketch set is patched, the
+        index's bucket tables are patched too (bit-identical to a fresh
+        build); an index whose sketch set was evicted before the delta is
+        invalidated instead.  Families without signature matrices (Bloom /
+        HLL) cache one full-scan-fallback index per sketch set.
+        """
+        from ..core.budget import resolve_lsh_params
+        from .lsh import LSHIndex, signature_matrix
+
+        sig = signature_matrix(pg.sketches)
+        if sig is None:
+            if num_bands is not None or rows_per_band is not None:
+                raise ValueError(
+                    f"{type(pg.sketches).__name__} stores no signature matrix; "
+                    "banding parameters are not applicable"
+                )
+            split: tuple[int, int] = (0, 0)
+        elif num_bands is not None and rows_per_band is not None:
+            split = (int(num_bands), int(rows_per_band))
+        elif num_bands is None and rows_per_band is None:
+            resolution = resolve_lsh_params(sig[0].shape[1], threshold)
+            split = (resolution.num_bands, resolution.rows_per_band)
+        else:
+            raise ValueError("pass both num_bands and rows_per_band, or neither")
+        key = (pg.cache_key(), split)
+        with self._lock:
+            cached = self._lsh_cache.get(key)
+            if cached is not None and cached.pg.graph.fingerprint() != key[0][0]:
+                # Patched out-of-band (ProbGraph.apply_delta called directly):
+                # the tables no longer describe the keyed graph.  Drop it.
+                del self._lsh_cache[key]
+                self.stats.lsh_invalidations += 1
+                cached = None
+            if cached is not None:
+                self._lsh_cache.move_to_end(key)
+                self.stats.lsh_hits += 1
+                return cached
+            index = LSHIndex(
+                pg, num_bands=num_bands, rows_per_band=rows_per_band,
+                threshold=threshold,
+            )
+            self.stats.lsh_constructions += 1
+            self._lsh_cache[key] = index
+            while len(self._lsh_cache) > self.max_entries:
+                self._lsh_cache.popitem(last=False)
+                self.stats.evictions += 1
+            return index
+
     def apply_delta(self, delta: "GraphDelta") -> int:
         """Patch every cached sketch set of the delta's source graph, in place.
 
@@ -259,6 +328,26 @@ class PGSession:
             self.stats.evictions += len(self._cache) - len(remapped)
             self._cache = remapped
             self.stats.delta_patches += patched
+            # LSH indexes ride along: their sketch sets were just patched above,
+            # so re-keying the touched rows' bucket entries keeps each index
+            # bit-identical to a fresh build.  An index whose sketch set did not
+            # advance (evicted before the delta) would serve stale tables — drop it.
+            lsh_remapped: OrderedDict[tuple, object] = OrderedDict()
+            invalidated = 0
+            for key, index in self._lsh_cache.items():
+                if key[0][0] == old_fingerprint:
+                    if index.pg.graph.fingerprint() != new_fingerprint:
+                        invalidated += 1
+                        continue
+                    index.apply_delta(delta)
+                    key = ((new_fingerprint,) + key[0][1:], key[1])
+                    self.stats.lsh_patches += 1
+                lsh_remapped[key] = index
+            # Key collisions (a patched index landing on one already built for
+            # the new graph) count as evictions, like the sketch cache above.
+            self.stats.evictions += len(self._lsh_cache) - invalidated - len(lsh_remapped)
+            self.stats.lsh_invalidations += invalidated
+            self._lsh_cache = lsh_remapped
             return patched
 
     def cached(self, pg: ProbGraph) -> bool:
@@ -267,9 +356,10 @@ class PGSession:
             return pg.cache_key() in self._cache
 
     def clear(self) -> None:
-        """Drop every cached sketch set (stats are kept)."""
+        """Drop every cached sketch set and LSH index (stats are kept)."""
         with self._lock:
             self._cache.clear()
+            self._lsh_cache.clear()
 
     def __len__(self) -> int:
         with self._lock:

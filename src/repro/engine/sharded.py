@@ -57,9 +57,22 @@ from ..parallel.executor import chunked_ranges
 from ..sketches.base import NeighborhoodSketches, concat_sketch_rows
 from ..sketches.bloom import BloomNeighborhoodSketches
 from .batch import record_query, record_topk, resolve_chunk_pairs
+from .lsh import (
+    LSHIndex,
+    LSHIndexStats,
+    _resolve_band_split,
+    select_topk_rows,
+    signature_matrix,
+)
 from .topk import TopKResult
+from ..core.budget import DEFAULT_LSH_THRESHOLD, LSHResolution
 
-__all__ = ["ShardCommStats", "ShardedEngine", "build_probgraph_sharded"]
+__all__ = [
+    "ShardCommStats",
+    "ShardedEngine",
+    "ShardedLSHIndex",
+    "build_probgraph_sharded",
+]
 
 
 @dataclass
@@ -601,6 +614,17 @@ class ShardedEngine:
         )
         return result.indices[0], result.scores[0]
 
+    def lsh_index(
+        self,
+        num_bands: int | None = None,
+        rows_per_band: int | None = None,
+        threshold: float = DEFAULT_LSH_THRESHOLD,
+    ) -> "ShardedLSHIndex":
+        """Per-shard LSH bucket tables with routed probes — see :class:`ShardedLSHIndex`."""
+        return ShardedLSHIndex(
+            self, num_bands=num_bands, rows_per_band=rows_per_band, threshold=threshold
+        )
+
     # -------------------------------------------------------------- validation
     def communication_model(
         self, sketch_bits_per_vertex: int | None = None
@@ -652,6 +676,242 @@ class ShardedEngine:
         return (
             f"ShardedEngine(n={self.num_vertices}, shards={self.num_shards}, "
             f"representation={self.params.representation.value}, seed={self.seed})"
+        )
+
+
+class ShardedLSHIndex:
+    """Per-shard MinHash-LSH bucket tables with routed probes and canonical merge.
+
+    The sharded counterpart of :class:`~repro.engine.lsh.LSHIndex`: every
+    shard builds the bucket tables of its *own* sketch rows (entries carry
+    global vertex IDs, so the per-shard tables partition the single-process
+    table), a query computes its band keys once on the owner shard's rows and
+    probes every shard's tables, and the colliding candidates — a disjoint
+    union across shards — are scored through the engine's routed
+    scatter-gather (counted shipments) and selected under the canonical
+    order.  Because the probed entries, the scoring floats, and the selection
+    are each identical to the single-process path, ``topk_similar_batch`` is
+    **bit-identical** to :meth:`LSHIndex.topk_similar_batch
+    <repro.engine.lsh.LSHIndex.topk_similar_batch>` over
+    :meth:`ShardedEngine.to_probgraph` for any shard count (asserted by the
+    recall-contract suite).
+
+    Families without signature matrices (Bloom / HLL), and ``exact=True``
+    calls, fall back to :meth:`ShardedEngine.top_k_similar_batch`.
+    """
+
+    def __init__(
+        self,
+        engine: ShardedEngine,
+        num_bands: int | None = None,
+        rows_per_band: int | None = None,
+        threshold: float = DEFAULT_LSH_THRESHOLD,
+    ) -> None:
+        self.engine = engine
+        self.threshold = float(threshold)
+        self.stats = LSHIndexStats()
+        sig = signature_matrix(engine._shards[0])
+        if sig is None:
+            if num_bands is not None or rows_per_band is not None:
+                raise ValueError(
+                    f"{type(engine._shards[0]).__name__} stores no signature "
+                    "matrix; banding parameters are not applicable (queries "
+                    "fall back to the routed full scan)"
+                )
+            self.resolution: LSHResolution | None = None
+            self._shard_indexes: list[LSHIndex] = []
+            return
+        self.resolution = _resolve_band_split(
+            sig[0].shape[1], num_bands, rows_per_band, threshold
+        )
+        self._shard_indexes = [
+            LSHIndex(
+                engine._shards[s],
+                num_bands=self.resolution.num_bands,
+                rows_per_band=self.resolution.rows_per_band,
+                threshold=threshold,
+                vertex_ids=engine.partition.shard_vertices[s],
+            )
+            for s in range(engine.num_shards)
+        ]
+
+    @property
+    def banded(self) -> bool:
+        """Whether bucket tables exist (False → every query is a routed full scan)."""
+        return self.resolution is not None
+
+    @property
+    def num_bands(self) -> int:
+        """Bands per signature (0 for the full-scan fallback)."""
+        return self.resolution.num_bands if self.resolution is not None else 0
+
+    @property
+    def rows_per_band(self) -> int:
+        """Signature slots hashed together per band (0 for the full-scan fallback)."""
+        return self.resolution.rows_per_band if self.resolution is not None else 0
+
+    @property
+    def num_entries(self) -> int:
+        """Total bucket entries across every shard's tables."""
+        return sum(index.num_entries for index in self._shard_indexes)
+
+    def _source_band_keys(self, sources: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Band keys of each source, computed on its owner shard's rows.
+
+        Keys depend only on the signature values and the band split — not on
+        which shard holds the row — so one key set probes every shard's tables
+        (the routed-probe contract).
+        """
+        assert self.resolution is not None
+        partition = self.engine.partition
+        owners = partition.owners[sources]
+        keys = np.empty((sources.shape[0], self.resolution.num_bands), dtype=np.uint64)
+        valid = np.empty((sources.shape[0], self.resolution.num_bands), dtype=bool)
+        for s in np.unique(owners):
+            sel = owners == s
+            local_rows = partition.local_index[sources[sel]]
+            keys[sel], valid[sel] = self._shard_indexes[int(s)].band_keys(local_rows)
+        return keys, valid
+
+    def query_candidates_batch(
+        self,
+        sources: np.ndarray,
+        candidates: np.ndarray | None = None,
+        exclude_self: bool = True,
+    ) -> list[np.ndarray]:
+        """Colliding candidates per source — the disjoint union of shard probes.
+
+        Returns the same sorted unique ID arrays as the single-process
+        :meth:`LSHIndex.query_candidates_batch
+        <repro.engine.lsh.LSHIndex.query_candidates_batch>` (every bucket
+        entry lives in exactly one shard's table).
+        """
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        if candidates is not None:
+            candidates = np.unique(np.asarray(candidates, dtype=np.int64).ravel())
+        if not self.banded:
+            pool = (
+                candidates
+                if candidates is not None
+                else np.arange(self.engine.num_vertices, dtype=np.int64)
+            )
+            return [
+                pool[pool != s] if exclude_self else pool.copy() for s in sources
+            ]
+        keys, valid = self._source_band_keys(sources)
+        per_shard = [index.probe(keys, valid) for index in self._shard_indexes]
+        out: list[np.ndarray] = []
+        for i, s in enumerate(sources):
+            # Shards own disjoint vertex sets, so the concatenation is already
+            # duplicate-free; sorting restores the global canonical order.
+            cand = np.sort(np.concatenate([found[i] for found in per_shard]))
+            if candidates is not None:
+                cand = np.intersect1d(cand, candidates, assume_unique=True)
+            if exclude_self:
+                cand = cand[cand != s]
+            out.append(cand)
+        return out
+
+    def query_candidates(
+        self,
+        u: int,
+        candidates: np.ndarray | None = None,
+        exclude_self: bool = True,
+    ) -> np.ndarray:
+        """Sorted unique candidate IDs colliding with vertex ``u`` on ≥1 band."""
+        return self.query_candidates_batch(
+            np.asarray([u], dtype=np.int64), candidates=candidates,
+            exclude_self=exclude_self,
+        )[0]
+
+    def topk_similar_batch(
+        self,
+        sources: np.ndarray,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        exclude_self: bool = True,
+        exact: bool = False,
+    ) -> TopKResult:
+        """Routed top-k over only the colliding candidates of every source.
+
+        Scoring goes through the engine's scatter-gather
+        (:meth:`ShardedEngine.pair_intersections` — shipments are counted as
+        usual); selection is the shared canonical
+        :func:`repro.engine.lsh.select_topk_rows`.  ``exact=True`` (and the
+        Bloom/HLL fallback) routes to :meth:`ShardedEngine.top_k_similar_batch`.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if measure not in ("jaccard", "intersection", "common_neighbors"):
+            raise ValueError(
+                f"unknown measure {measure!r}; expected 'jaccard', 'intersection', "
+                "or 'common_neighbors'"
+            )
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        if exact or not self.banded:
+            self.stats.queries += 1
+            self.stats.full_scan_fallbacks += 1
+            return self.engine.top_k_similar_batch(
+                sources, k, measure=measure, candidates=candidates,
+                estimator=estimator, exclude_self=exclude_self,
+            )
+        pool_size = (
+            np.unique(np.asarray(candidates, dtype=np.int64)).shape[0]
+            if candidates is not None
+            else self.engine.num_vertices
+        )
+        k = min(int(k), pool_size)
+        record_topk()
+        self.stats.queries += 1
+        if sources.shape[0] == 0 or k == 0:
+            return TopKResult(
+                np.empty((sources.shape[0], k), dtype=np.int64),
+                np.empty((sources.shape[0], k), dtype=np.float64),
+            )
+        cand_lists = self.query_candidates_batch(
+            sources, candidates=candidates, exclude_self=False
+        )
+        counts = np.asarray([c.shape[0] for c in cand_lists], dtype=np.int64)
+        total = int(counts.sum())
+        self.stats.probed_sources += sources.shape[0]
+        self.stats.candidates_scored += total
+        if total:
+            u_flat = np.repeat(sources, counts)
+            v_flat = np.concatenate(cand_lists)
+            if measure == "jaccard":
+                flat_scores = self.engine.pair_jaccard(u_flat, v_flat, estimator=estimator)
+            else:
+                flat_scores = self.engine.pair_intersections(u_flat, v_flat, estimator=estimator)
+        else:
+            flat_scores = np.empty(0, dtype=np.float64)
+        return select_topk_rows(sources, cand_lists, flat_scores, k, exclude_self)
+
+    def topk_similar(
+        self,
+        u: int,
+        k: int,
+        measure: str = "jaccard",
+        candidates: np.ndarray | None = None,
+        estimator: EstimatorKind | str | None = None,
+        exact: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-source convenience over :meth:`topk_similar_batch`."""
+        result = self.topk_similar_batch(
+            np.asarray([u], dtype=np.int64), k, measure=measure,
+            candidates=candidates, estimator=estimator, exact=exact,
+        )
+        return result.indices[0], result.scores[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.banded:
+            return (
+                f"ShardedLSHIndex(shards={self.engine.num_shards}, fallback=full-scan)"
+            )
+        return (
+            f"ShardedLSHIndex(shards={self.engine.num_shards}, b={self.num_bands}, "
+            f"r={self.rows_per_band}, entries={self.num_entries})"
         )
 
 

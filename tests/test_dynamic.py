@@ -14,7 +14,7 @@ import pytest
 
 from repro.core import ProbGraph
 from repro.dynamic import DynamicGraph, EdgeBatch, EdgeStream, changed_rows
-from repro.engine import PGSession, engine_stats, reset_engine_stats
+from repro.engine import LSHIndex, PGSession, engine_stats, reset_engine_stats
 from repro.graph import CSRGraph, kronecker_graph
 from repro.sketches.bloom import BloomFamily
 from repro.sketches.kmv import KMVFamily
@@ -397,3 +397,124 @@ class TestSessionDeltaPatching:
         rebuilt = session.probgraph(dyn.snapshot(), representation="bloom", num_bits=128, seed=0)
         assert session.stats.constructions == 4  # seed=0 had to be rebuilt
         assert rebuilt.graph is dyn.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# LSH indexes riding along with session delta patching
+# ---------------------------------------------------------------------------
+def assert_lsh_bit_identical(patched: LSHIndex, fresh: LSHIndex) -> None:
+    """Patched bucket tables must equal a fresh build on the final graph."""
+    assert np.array_equal(patched._keys, fresh._keys)
+    assert np.array_equal(patched._verts, fresh._verts)
+
+
+class TestSessionLSHDeltaPatching:
+    @pytest.mark.parametrize("representation", ["khash", "1hash", "kmv"])
+    @pytest.mark.parametrize("oriented", [False, True])
+    def test_patched_index_bit_identical_to_fresh(self, stream_graph, representation, oriented):
+        params = EXPLICIT_PARAMS[representation]
+        edges = stream_graph.edge_array()
+        dyn = DynamicGraph(num_vertices=stream_graph.num_vertices)
+        dyn.apply_edges(insertions=edges[:300])
+        session = PGSession()
+        pg = session.probgraph(
+            dyn.snapshot(), representation=representation, seed=4, oriented=oriented, **params
+        )
+        index = session.lsh_index(pg)
+        # Insert batch, then a delete batch (tombstone + resketch path).
+        for step in ({"insertions": edges[300:500]}, {"deletions": edges[:25]}):
+            delta = dyn.apply_edges(**step)
+            session.apply_delta(delta)
+            fresh = LSHIndex(
+                ProbGraph(
+                    dyn.snapshot(), representation=representation, seed=4,
+                    oriented=oriented, **params,
+                )
+            )
+            assert_lsh_bit_identical(index, fresh)
+        assert session.stats.lsh_patches == 2
+        # The patched index keeps serving: same candidates and same top-k rows
+        # as a fresh index on the final graph.
+        sources = np.arange(0, stream_graph.num_vertices, 9, dtype=np.int64)
+        for got, want in zip(
+            index.query_candidates_batch(sources),
+            fresh.query_candidates_batch(sources),
+        ):
+            assert np.array_equal(got, want)
+        got = index.topk_similar_batch(sources, 6)
+        want = fresh.topk_similar_batch(sources, 6)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.scores, want.scores)
+        # ... and a warm lookup on the patched session returns it: no rebuild.
+        assert session.lsh_index(pg) is index
+        assert session.stats.lsh_constructions == 1
+
+    def test_vertex_growing_delta_extends_tables(self, stream_graph):
+        n = stream_graph.num_vertices
+        dyn = DynamicGraph(stream_graph)
+        session = PGSession()
+        pg = session.probgraph(dyn.snapshot(), representation="khash", k=8, seed=2)
+        index = session.lsh_index(pg)
+        delta = dyn.apply_edges(insertions=[(0, n + 3), (n + 1, n + 2)])
+        session.apply_delta(delta)
+        fresh = LSHIndex(ProbGraph(dyn.snapshot(), representation="khash", k=8, seed=2))
+        assert index.vertex_ids.shape[0] == n + 4
+        assert_lsh_bit_identical(index, fresh)
+        assert np.array_equal(index.query_candidates(n + 1), fresh.query_candidates(n + 1))
+
+    def test_fallback_index_rides_along(self, stream_graph):
+        dyn = DynamicGraph(stream_graph)
+        session = PGSession()
+        pg = session.probgraph(dyn.snapshot(), representation="bloom", num_bits=256, seed=1)
+        index = session.lsh_index(pg)
+        assert not index.banded
+        delta = dyn.apply_edges(deletions=stream_graph.edge_array()[:5])
+        session.apply_delta(delta)
+        # The (0, 0)-keyed fallback entry advanced with its sketch set.
+        assert session.lsh_index(pg) is index
+        assert session.stats.lsh_constructions == 1
+        fresh = ProbGraph(dyn.snapshot(), representation="bloom", num_bits=256, seed=1)
+        sources = np.asarray([0, 7, 19], dtype=np.int64)
+        got = index.topk_similar_batch(sources, 5)
+        want = LSHIndex(fresh).topk_similar_batch(sources, 5)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.scores, want.scores)
+
+    def test_index_of_evicted_sketch_set_is_invalidated(self, stream_graph):
+        """An index whose sketch set fell out of the cache before the delta
+        cannot be patched (its ProbGraph no longer advances) — it must be
+        dropped, never served stale."""
+        dyn = DynamicGraph(stream_graph)
+        session = PGSession(max_entries=1)
+        pg = session.probgraph(dyn.snapshot(), representation="khash", k=8, seed=4)
+        session.lsh_index(pg)
+        # Build a second sketch set: max_entries=1 evicts pg's entry.
+        session.probgraph(stream_graph, representation="khash", k=8, seed=5)
+        assert not session.cached(pg)
+        delta = dyn.apply_edges(deletions=stream_graph.edge_array()[:5])
+        session.apply_delta(delta)
+        assert session.stats.lsh_invalidations == 1
+        # The next lookup patches nothing silently — it rebuilds fresh.
+        pg.apply_delta(delta)
+        rebuilt = session.lsh_index(pg)
+        assert session.stats.lsh_constructions == 2
+        assert_lsh_bit_identical(
+            rebuilt, LSHIndex(ProbGraph(dyn.snapshot(), representation="khash", k=8, seed=4))
+        )
+
+    def test_out_of_band_patch_never_serves_wrong_tables(self, stream_graph):
+        """Direct ProbGraph.apply_delta on an indexed sketch set must not let a
+        later lookup for the *old* graph serve the patched tables."""
+        dyn = DynamicGraph(stream_graph)
+        session = PGSession()
+        pg = session.probgraph(dyn.snapshot(), representation="khash", k=8, seed=4)
+        stale = session.lsh_index(pg)
+        delta = dyn.apply_edges(deletions=stream_graph.edge_array()[:5])
+        pg.apply_delta(delta)  # bypasses session.apply_delta: key is now stale
+        old_pg = session.probgraph(stream_graph, representation="khash", k=8, seed=4)
+        fresh = session.lsh_index(old_pg)
+        assert fresh is not stale
+        assert session.stats.lsh_invalidations == 1
+        assert_lsh_bit_identical(
+            fresh, LSHIndex(ProbGraph(stream_graph, representation="khash", k=8, seed=4))
+        )

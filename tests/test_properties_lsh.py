@@ -1,0 +1,160 @@
+"""Property tests: LSH banding invariants on adversarial random graphs.
+
+Hypothesis draws random graphs (duplicate edges, isolated vertices, tiny or
+empty components), a banded sketch family, and a band/row split, and asserts
+the contracts that must hold for *every* input, not just the benchmark
+shapes:
+
+* a served LSH top-k row is **bit-identical** to the full-scan reference
+  restricted to that source's candidate set (same floats, same canonical
+  score-desc/ID-asc order, same padding) — this subsumes the tie-heavy and
+  duplicate-signature cases of ``tests/test_topk.py``;
+* candidate collision is **symmetric**;
+* vertices with *identical neighborhoods* have identical signature rows, so
+  clones always retrieve each other, ranked by the canonical ID-ascending
+  tie order;
+* degenerate shapes (edgeless graphs, single-vertex graphs, isolated
+  sources) serve empty candidate sets and all-padding rows instead of
+  failing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProbGraph
+from repro.engine import LSHIndex, signature_matrix, topk_per_source
+from repro.graph import CSRGraph
+
+BANDED = ["khash", "1hash", "kmv"]
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=1, max_value=32))
+    num_edges = draw(st.integers(min_value=0, max_value=96))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(num_edges, 2))
+    return CSRGraph.from_edges(edges, num_vertices=n)
+
+
+@st.composite
+def band_split(draw):
+    r = draw(st.integers(min_value=1, max_value=3))
+    b = draw(st.integers(min_value=1, max_value=8 // r))
+    return b, r
+
+
+@given(
+    graph=random_graph(),
+    representation=st.sampled_from(BANDED),
+    split=band_split(),
+    k=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_topk_row_equals_reference_restricted_to_candidates(
+    graph, representation, split, k, seed
+):
+    """The LSH result IS the full scan over the candidate set — exactly."""
+    pg = ProbGraph(graph, representation=representation, k=8, seed=seed)
+    index = LSHIndex(pg, num_bands=split[0], rows_per_band=split[1])
+    sources = np.arange(graph.num_vertices, dtype=np.int64)
+    result = index.topk_similar_batch(sources, k)
+    k_eff = min(k, graph.num_vertices)
+    assert result.indices.shape == (graph.num_vertices, k_eff)
+    for i, s in enumerate(sources):
+        cand = index.query_candidates(int(s), exclude_self=False)
+        if cand.size == 0:
+            assert np.all(result.indices[i] == -1)
+            assert np.all(result.scores[i] == 0.0)
+            continue
+        ref = topk_per_source(pg, np.asarray([s]), k_eff, candidates=cand)
+        width = ref.indices.shape[1]
+        assert np.array_equal(result.indices[i, :width], ref.indices[0])
+        assert np.array_equal(result.scores[i, :width], ref.scores[0])
+        assert np.all(result.indices[i, width:] == -1)
+        assert np.all(result.scores[i, width:] == 0.0)
+
+
+@given(
+    graph=random_graph(),
+    representation=st.sampled_from(BANDED),
+    split=band_split(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_candidate_collision_is_symmetric(graph, representation, split, seed):
+    pg = ProbGraph(graph, representation=representation, k=8, seed=seed)
+    index = LSHIndex(pg, num_bands=split[0], rows_per_band=split[1])
+    sources = np.arange(graph.num_vertices, dtype=np.int64)
+    cands = index.query_candidates_batch(sources)
+    member = {
+        (int(s), int(v)) for s, cand in zip(sources, cands) for v in cand
+    }
+    for u, v in member:
+        assert (v, u) in member
+
+
+@given(
+    num_clones=st.integers(min_value=2, max_value=6),
+    num_hubs=st.integers(min_value=1, max_value=4),
+    representation=st.sampled_from(BANDED),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_duplicate_neighborhoods_always_retrieve_each_other(
+    num_clones, num_hubs, representation, seed
+):
+    """Clones (identical neighbor sets) have identical signature rows: every
+    clone collides with every other, scores 1.0 under the k-hash estimate,
+    and ties rank in canonical ID-ascending order."""
+    hubs = np.arange(num_hubs)
+    clones = num_hubs + np.arange(num_clones)
+    edges = np.stack(
+        [np.repeat(clones, num_hubs), np.tile(hubs, num_clones)], axis=1
+    )
+    graph = CSRGraph.from_edges(edges, num_vertices=num_hubs + num_clones)
+    pg = ProbGraph(graph, representation=representation, k=8, seed=seed)
+    index = LSHIndex(pg)
+    matrix, _ = signature_matrix(pg.sketches)
+    assert (matrix[clones] == matrix[clones[0]]).all()
+    result = index.topk_similar_batch(clones, num_clones - 1)
+    for i, c in enumerate(clones):
+        others = clones[clones != c]
+        assert np.isin(others, index.query_candidates(int(c))).all()
+        # Estimated Jaccard between identical rows is exactly 1; the tie
+        # breaks by ascending vertex ID, exactly the full-scan order.
+        assert np.array_equal(result.indices[i], others)
+        assert np.all(result.scores[i] == 1.0)
+
+
+@pytest.mark.parametrize("representation", BANDED)
+def test_edgeless_graph_serves_all_padding(representation):
+    graph = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=5)
+    pg = ProbGraph(graph, representation=representation, k=8, seed=1)
+    index = LSHIndex(pg)
+    assert index.banded and index.num_entries == 0
+    sources = np.arange(5, dtype=np.int64)
+    for cand in index.query_candidates_batch(sources):
+        assert cand.size == 0
+    result = index.topk_similar_batch(sources, 3)
+    assert np.all(result.indices == -1)
+    assert np.all(result.scores == 0.0)
+
+
+@pytest.mark.parametrize("representation", BANDED)
+def test_single_vertex_graph(representation):
+    graph = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=1)
+    pg = ProbGraph(graph, representation=representation, k=8, seed=1)
+    index = LSHIndex(pg)
+    assert index.query_candidates(0).size == 0
+    result = index.topk_similar_batch(np.asarray([0]), 4)
+    assert result.indices.shape == (1, 1)  # k clamps to the 1-vertex pool
+    assert np.all(result.indices == -1)
+    vertices, scores = index.topk_similar(0, 4)
+    assert np.all(vertices == -1) and np.all(scores == 0.0)
