@@ -1,0 +1,48 @@
+"""Append-only benchmark trajectories — shared by every ``BENCH_*.json`` writer.
+
+The ROADMAP mandates committed perf trajectories so re-anchors can see the
+curve, which only works if (a) the files are tracked (they were gitignored
+until PR 7) and (b) each run *appends* a timestamped record instead of
+overwriting the previous one.  :func:`append_run` implements the shared
+format::
+
+    {"benchmark": "<name>", "runs": [{..., "timestamp": "..."}, ...]}
+
+A legacy single-run payload (a bare measurement dict, the pre-PR-7 format) is
+absorbed as the first record of the runs list, so converting an existing file
+is just running its benchmark once.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+
+def append_run(path: Path, benchmark: str, payload: dict) -> dict:
+    """Append one timestamped run record to the trajectory file at ``path``.
+
+    Returns the full document written.  Unreadable/corrupt existing files are
+    replaced rather than crashing the benchmark that produced fresh numbers.
+    """
+    record = dict(payload)
+    record.setdefault(
+        "timestamp", datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    runs: list = []
+    path = Path(path)
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            doc = None
+        if isinstance(doc, dict) and isinstance(doc.get("runs"), list):
+            runs = doc["runs"]
+        elif isinstance(doc, dict):
+            # Legacy format: the file *was* a single run's measurements.
+            runs = [doc]
+    runs.append(record)
+    doc = {"benchmark": benchmark, "runs": runs}
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

@@ -20,9 +20,10 @@ once through the banding index.  The script asserts
   (measured, at the default ``(b, r)``), and
 * ≥ 5× per-query speedup over the full scan,
 
-then writes the measurements to ``BENCH_lsh.json``.  ``--smoke`` caps the
-workload for CI and skips the wall-clock assertion (recall is still
-asserted — it is deterministic, not load-dependent).
+then appends a timestamped run record to the ``BENCH_lsh.json`` trajectory
+(see ``benchmarks/_trajectory.py``).  ``--smoke`` caps the workload for CI and
+skips the wall-clock assertion (recall is still asserted — it is
+deterministic, not load-dependent).
 
 Run with:
     python benchmarks/bench_lsh.py            # full: >=100k vertices
@@ -32,12 +33,12 @@ Run with:
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _trajectory import append_run
 from repro.core import ProbGraph
 from repro.engine import LSHIndex, topk_per_source
 from repro.graph import kronecker_graph
@@ -132,8 +133,8 @@ def main() -> None:
         "candidate_fraction": candidate_fraction,
         "smoke": args.smoke,
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    doc = append_run(args.output, "lsh_topk_speedup", payload)
+    print(f"appended run {len(doc['runs'])} to {args.output}")
 
     assert recall >= REQUIRED_RECALL, (
         f"candidate recall {recall:.4f} below the {REQUIRED_RECALL} contract "

@@ -65,8 +65,10 @@ from .engine import (
     EngineConfig,
     LSHIndex,
     PGSession,
+    ShardSkewStats,
     ShardedEngine,
     ShardedLSHIndex,
+    StaleShardError,
     TopKResult,
     build_probgraph_sharded,
     topk_pair_scores,
@@ -87,6 +89,8 @@ __all__ = [
     "LSHIndex",
     "ShardedEngine",
     "ShardedLSHIndex",
+    "ShardSkewStats",
+    "StaleShardError",
     "build_probgraph_sharded",
     "resolve_lsh_params",
     "partition_graph",

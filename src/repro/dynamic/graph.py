@@ -268,6 +268,7 @@ class DynamicGraph:
         self.max_tombstone_fraction = float(max_tombstone_fraction)
         self._snapshot: CSRGraph | None = graph
         self._slot_keys: np.ndarray | None = None
+        self._version = 0
         self.stats = DynamicStats()
 
     # ------------------------------------------------------------------ views
@@ -285,6 +286,18 @@ class DynamicGraph:
     def num_tombstones(self) -> int:
         """Dead directed slots awaiting compaction."""
         return self._dead
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural version, bumped by every batch that changed an edge.
+
+        Consumers holding derived state (sketch sets, shard containers) record
+        the version they last saw and compare it on access: an equal version
+        guarantees — in ``O(1)``, without hashing the CSR arrays — that the
+        graph is exactly the one their state was built from.  A no-op batch
+        (inserting present edges, deleting absent ones) does not bump it.
+        """
+        return self._version
 
     def snapshot(self) -> CSRGraph:
         """The current graph as an immutable CSR (cached until the next mutation)."""
@@ -319,6 +332,8 @@ class DynamicGraph:
         self.stats.batches += 1
         self.stats.edges_inserted += int(inserted.shape[0])
         self.stats.edges_deleted += int(deleted.shape[0])
+        if inserted.shape[0] or deleted.shape[0]:
+            self._version += 1
         return GraphDelta(
             old_fingerprint=old_fingerprint,
             graph=new,

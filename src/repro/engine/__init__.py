@@ -53,8 +53,10 @@ from .lsh import (
 from .session import PGSession, SessionStats, default_session
 from .sharded import (
     ShardCommStats,
+    ShardSkewStats,
     ShardedEngine,
     ShardedLSHIndex,
+    StaleShardError,
     build_probgraph_sharded,
 )
 from .topk import TopKResult, materialized_topk, topk_pair_scores, topk_per_source
@@ -69,8 +71,10 @@ __all__ = [
     "PGSession",
     "SessionStats",
     "ShardCommStats",
+    "ShardSkewStats",
     "ShardedEngine",
     "ShardedLSHIndex",
+    "StaleShardError",
     "build_probgraph_sharded",
     "select_topk_rows",
     "signature_matrix",

@@ -300,6 +300,54 @@ class LSHIndex:
         self._keys = keys[order]
         self._verts = verts[order]
 
+    @staticmethod
+    def _pack_entries(keys: np.ndarray, verts: np.ndarray) -> np.ndarray:
+        """memcmp-ordered 16-byte packs of ``(key, vert)`` entries.
+
+        Big-endian key bytes followed by big-endian vertex bytes, so byte-wise
+        void comparison equals the canonical ``lexsort((verts, keys))`` order
+        (keys are uint64, vertex IDs are non-negative).  Lets a sorted splice
+        use :func:`np.searchsorted` on compound entries.
+        """
+        packed = np.empty(keys.shape[0], dtype="V16")
+        view = packed.view(np.uint8).reshape(-1, 16)
+        view[:, :8] = keys.astype(">u8", copy=False).view(np.uint8).reshape(-1, 8)
+        view[:, 8:] = (
+            verts.astype(np.uint64).astype(">u8").view(np.uint8).reshape(-1, 8)
+        )
+        return packed
+
+    def _splice_sorted(
+        self, keep: np.ndarray, new_keys: np.ndarray, new_verts: np.ndarray
+    ) -> None:
+        """Merge new entries into the kept (already canonical) entries in O(n).
+
+        A patch re-keys a few thousand rows of a table holding millions of
+        entries; re-lexsorting everything made :meth:`rekey_rows` cost as much
+        as a rebuild.  The kept entries stay sorted after masking, so sorting
+        only the new entries and computing their splice positions with one
+        compound-key ``searchsorted`` reproduces ``_store_sorted``'s canonical
+        order bit-for-bit at linear cost.
+        """
+        order = np.lexsort((new_verts, new_keys))
+        new_keys, new_verts = new_keys[order], new_verts[order]
+        old_keys, old_verts = self._keys[keep], self._verts[keep]
+        pos = np.searchsorted(
+            self._pack_entries(old_keys, old_verts),
+            self._pack_entries(new_keys, new_verts),
+            side="left",
+        )
+        total = old_keys.shape[0] + new_keys.shape[0]
+        at_new = pos + np.arange(new_keys.shape[0], dtype=np.int64)
+        at_old = np.ones(total, dtype=bool)
+        at_old[at_new] = False
+        keys = np.empty(total, dtype=old_keys.dtype)
+        verts = np.empty(total, dtype=old_verts.dtype)
+        keys[at_new], keys[at_old] = new_keys, old_keys
+        verts[at_new], verts[at_old] = new_verts, old_verts
+        self._keys = keys
+        self._verts = verts
+
     def _rebuild(self) -> None:
         rows = np.arange(self.sketches.num_sets, dtype=np.int64)
         self._store_sorted(*self._entries_for_rows(rows))
@@ -343,20 +391,40 @@ class LSHIndex:
             _, touched = delta.oriented_update(self.pg._base)
         else:
             touched = np.union1d(delta.ins_vertices, delta.dirty_vertices)
-        touched = np.asarray(touched, dtype=np.int64)
-        if self.sketches.num_sets > self._num_rows:
-            grown = np.arange(self._num_rows, self.sketches.num_sets, dtype=np.int64)
-            touched = np.union1d(touched, grown)
-        if touched.size == 0:
+        return self.rekey_rows(touched)
+
+    def rekey_rows(self, rows: np.ndarray) -> int:
+        """Re-key the bucket entries of the given container rows in place.
+
+        ``rows`` are container row positions whose sketch values already hold
+        their *new* state; any rows appended since the last build/re-key are
+        included automatically.  :attr:`vertex_ids` must already cover every
+        container row — callers that grow the container update it first (the
+        sharded engine swaps in the extended owned-vertex list;
+        :meth:`apply_delta` extends the identity mapping itself).  Re-keying
+        is idempotent and entry order is canonical, so the tables end up
+        bit-identical to a fresh build over the current container.  Returns
+        the number of re-keyed rows.
+        """
+        num_sets = self.sketches.num_sets
+        if self.vertex_ids.shape[0] != num_sets:
+            raise ValueError(
+                f"vertex_ids has {self.vertex_ids.shape[0]} entries for a "
+                f"container with {num_sets} rows; update it before re-keying"
+            )
+        if not self.banded:
+            self._num_rows = num_sets
             return 0
-        keep = ~np.isin(self._verts, self.vertex_ids[touched])
-        new_keys, new_verts = self._entries_for_rows(touched)
-        self._store_sorted(
-            np.concatenate([self._keys[keep], new_keys]),
-            np.concatenate([self._verts[keep], new_verts]),
-        )
-        self._num_rows = self.sketches.num_sets
-        return int(touched.size)
+        rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
+        if num_sets > self._num_rows:
+            grown = np.arange(self._num_rows, num_sets, dtype=np.int64)
+            rows = np.union1d(rows, grown)
+        if rows.size == 0:
+            return 0
+        keep = ~np.isin(self._verts, self.vertex_ids[rows])
+        self._splice_sorted(keep, *self._entries_for_rows(rows))
+        self._num_rows = num_sets
+        return int(rows.size)
 
     # ----------------------------------------------------------------- probes
     def probe(self, keys: np.ndarray, valid: np.ndarray) -> list[np.ndarray]:

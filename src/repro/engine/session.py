@@ -303,6 +303,11 @@ class PGSession:
         rows change; results stay bit-identical to a fresh build on the new
         graph) and re-keyed under the new fingerprint, preserving LRU order.
         Callers holding references to the cached objects see them advance too.
+        Entries built through the sharded multiprocess pass (``shards=``) are
+        ordinary :class:`~repro.core.ProbGraph` objects once cached, so they
+        advance identically — a sharded build is patched, not rebuilt (a
+        long-lived :class:`~repro.engine.sharded.ShardedEngine` is patched
+        through its own ``apply_delta``).
 
         Returns the number of entries patched.  Note that budget-derived
         parameters are resolved against the graph a lookup passes in, so after

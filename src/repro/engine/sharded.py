@@ -31,12 +31,22 @@ Three contracts make this safe to use everywhere the single-process engine is:
   :mod:`multiprocessing.shared_memory` (``transport="shm"``, the default when
   available): the parent publishes the full ``(indptr, indices)`` arrays once
   and each worker slices out its own rows.
+* **Delta routing.**  A :class:`~repro.dynamic.graph.GraphDelta` is split by
+  ``partition.owners`` into per-shard sub-deltas (a cut edge touches both
+  endpoints' shards) and each shard's container is patched **in place** with
+  the same family ``apply_delta``/``grow`` machinery the single-process path
+  uses — bit-identical to a fresh sharded rebuild, at the cost of only the
+  touched rows (:meth:`ShardedEngine.apply_delta`).  Engines built over a
+  :class:`~repro.dynamic.graph.DynamicGraph` additionally guard every query
+  entry point: if the source graph moved without a routed delta, the engine
+  raises :class:`StaleShardError` instead of silently serving stale rows.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -50,7 +60,8 @@ from ..core.probgraph import (
     check_estimator_kind,
     resolve_sketch_params,
 )
-from ..graph.csr import CSRGraph
+from ..dynamic.graph import DynamicGraph, GraphDelta
+from ..graph.csr import CSRGraph, ragged_gather
 from ..graph.partition import ShardPartition, partition_graph, slice_row_block
 from ..parallel.distributed import CommunicationVolume, communication_volume
 from ..parallel.executor import chunked_ranges
@@ -69,10 +80,24 @@ from ..core.budget import DEFAULT_LSH_THRESHOLD, LSHResolution
 
 __all__ = [
     "ShardCommStats",
+    "ShardSkewStats",
     "ShardedEngine",
     "ShardedLSHIndex",
+    "StaleShardError",
     "build_probgraph_sharded",
 ]
+
+
+class StaleShardError(RuntimeError):
+    """The engine's source graph changed without a delta being routed to the shards.
+
+    Raised by every :class:`ShardedEngine` query entry point when the
+    :class:`~repro.dynamic.graph.DynamicGraph` the engine was built over has
+    applied batches the shards never saw.  Serving would silently return
+    results for the *old* graph; instead, route each
+    :class:`~repro.dynamic.graph.GraphDelta` through
+    :meth:`ShardedEngine.apply_delta` (or rebuild the engine).
+    """
 
 
 @dataclass
@@ -99,6 +124,68 @@ class ShardCommStats:
         self.cut_pairs = 0
         self.shipments = 0
         self.sketch_bytes = 0.0
+
+
+@dataclass(frozen=True)
+class ShardSkewStats:
+    """Per-shard load snapshot of a :class:`ShardedEngine` under a stream.
+
+    ``vertices[s]`` / ``edges[s]`` describe the static placement (owned rows
+    and their directed adjacency slots — ``edges.sum() == 2m``); ``updates[s]``
+    counts the sketch rows :meth:`ShardedEngine.apply_delta` patched on shard
+    ``s`` since the build (or the last repartition), i.e. where the *stream*
+    is landing.  Imbalance ratios are ``max / mean`` — 1.0 is perfectly
+    balanced, and :meth:`needs_repartition` is the documented trigger for
+    :meth:`ShardedEngine.repartition`.
+    """
+
+    vertices: np.ndarray
+    edges: np.ndarray
+    updates: np.ndarray
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards described."""
+        return int(self.vertices.shape[0])
+
+    @staticmethod
+    def _imbalance(counts: np.ndarray) -> float:
+        mean = float(counts.mean()) if counts.size else 0.0
+        if mean <= 0.0:
+            return 1.0
+        return float(counts.max()) / mean
+
+    @property
+    def vertex_imbalance(self) -> float:
+        """``max / mean`` of per-shard vertex counts (1.0 = balanced)."""
+        return self._imbalance(self.vertices)
+
+    @property
+    def edge_imbalance(self) -> float:
+        """``max / mean`` of per-shard adjacency-slot counts (1.0 = balanced)."""
+        return self._imbalance(self.edges)
+
+    @property
+    def update_imbalance(self) -> float:
+        """``max / mean`` of per-shard patched-row counts (1.0 = balanced)."""
+        return self._imbalance(self.updates)
+
+    @property
+    def max_imbalance(self) -> float:
+        """The worst of the vertex/edge imbalance ratios (the placement skew)."""
+        return max(self.vertex_imbalance, self.edge_imbalance)
+
+    def needs_repartition(self, threshold: float = 1.5) -> bool:
+        """Whether placement skew crossed ``threshold`` (the repartition trigger).
+
+        The sharded engine's wall clock is gated by its most loaded shard, so
+        once one shard holds ``threshold×`` the mean vertex or adjacency load,
+        redistributing ownership (:meth:`ShardedEngine.repartition` — a pure
+        row shuffle, no sketch is rebuilt) wins back the difference.  Update
+        skew is reported but not part of the trigger: a hot vertex keeps its
+        shard hot under any balanced placement.
+        """
+        return self.max_imbalance > float(threshold)
 
 
 # ---------------------------------------------------------------------------
@@ -177,11 +264,18 @@ class ShardedEngine:
     Queries are safe to issue from concurrent threads: evaluation state is
     per-call (shard containers are only read), and the :attr:`comm` counters
     are updated under a lock.
+
+    ``graph`` may also be a :class:`~repro.dynamic.graph.DynamicGraph`: the
+    engine shards its current snapshot and remembers the source, and every
+    query entry point then verifies the source has not applied batches the
+    shards never saw (raising :class:`StaleShardError` otherwise — route each
+    delta through :meth:`apply_delta` to keep serving).  The freshness check
+    is ``O(1)`` (a version counter) unless the source actually moved.
     """
 
     def __init__(
         self,
-        graph: CSRGraph,
+        graph: CSRGraph | DynamicGraph,
         num_shards: int,
         representation: Representation | str = Representation.BLOOM,
         storage_budget: float = 0.25,
@@ -202,6 +296,13 @@ class ShardedEngine:
             raise ValueError("num_shards must be at least 1")
         if transport not in ("auto", "shm", "pickle"):
             raise ValueError(f"unknown transport {transport!r}; expected 'auto', 'shm', or 'pickle'")
+        if isinstance(graph, DynamicGraph):
+            self._source: DynamicGraph | None = graph
+            self._source_version = graph.version
+            graph = graph.snapshot()
+        else:
+            self._source = None
+            self._source_version = -1
         self.graph = graph
         self.storage_budget = float(storage_budget)
         self.oriented = bool(oriented)
@@ -222,6 +323,9 @@ class ShardedEngine:
         self.family = self.params.make_family(self.seed)
         self.comm = ShardCommStats()
         self._comm_lock = threading.Lock()
+        self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
+        self._lsh_indexes: "weakref.WeakSet[ShardedLSHIndex]" = weakref.WeakSet()
+        self._last_patch: tuple[str, np.ndarray] | None = None
         start = time.perf_counter()
         self._shards: list[NeighborhoodSketches] = self._build(pool, max_workers, transport)
         self.construction_seconds = time.perf_counter() - start
@@ -414,6 +518,197 @@ class ShardedEngine:
             return self.estimator
         return check_estimator_kind(self.params.representation, estimator)
 
+    # ------------------------------------------------------------ freshness
+    def _check_fresh(self) -> None:
+        """Raise :class:`StaleShardError` if the source graph moved out-of-band.
+
+        ``O(1)`` when the source's version counter matches the one recorded at
+        build/patch time; on a mismatch the fingerprints decide (no-op batches
+        bump nothing, and a structurally identical graph re-syncs the version
+        instead of raising).
+        """
+        source = self._source
+        if source is None or source.version == self._source_version:
+            return
+        if source.snapshot().fingerprint() != self.graph.fingerprint():
+            raise StaleShardError(
+                "the source DynamicGraph applied batch(es) this engine never "
+                f"saw (source version {source.version}, engine saw "
+                f"{self._source_version}); route each GraphDelta through "
+                "ShardedEngine.apply_delta instead of querying stale shards"
+            )
+        self._source_version = source.version
+
+    # ---------------------------------------------------------------- patching
+    def apply_delta(self, delta: GraphDelta) -> int:
+        """Route one :class:`~repro.dynamic.graph.GraphDelta` to the owning shards.
+
+        The sharded counterpart of :meth:`repro.core.ProbGraph.apply_delta` —
+        the delta is split by ``partition.owners`` into per-shard sub-deltas
+        (a cut edge's endpoints patch *both* owning shards), global vertex IDs
+        are translated to local container rows, and each shard's container is
+        patched **in place**:
+
+        * new vertices are assigned to the smallest shards
+          (:meth:`ShardPartition.assign_balanced`), the partition's ID maps
+          are extended, and the owning containers grow;
+        * pure insertions go through the containers' incremental
+          ``apply_delta`` (the delta's global set elements need no
+          translation — only the *row* addressing is shard-local);
+        * deletion-touched (and, when oriented, orientation-changed) rows are
+          rebuilt from the new adjacency with the reference row builder and
+          scattered over the owners' ``_row_arrays``.
+
+        The patched shards are bit-identical to a fresh sharded rebuild on
+        ``delta.graph`` (asserted across all five families × shard counts ×
+        orientations in the test suite).  Shard objects are patched, never
+        replaced, so live :class:`ShardedLSHIndex` objects stay valid — every
+        registered index marks the touched rows dirty and re-keys its bucket
+        entries lazily on the next probe (so a burst of deltas pays one table
+        splice, not one per delta).  Per-shard patch activity accumulates in
+        :meth:`skew_stats`.  Returns the number of patched rows.
+
+        Note the single-process caveat applies here too: budget-derived
+        parameters re-resolve against the *grown* graph on a fresh build, so
+        pass explicit ``num_bits``/``k``/``precision`` when bit-identity with
+        later rebuilds matters.
+        """
+        if delta.old_fingerprint != self.graph.fingerprint():
+            raise ValueError(
+                "delta does not start at this engine's graph (expected "
+                f"fingerprint {self.graph.fingerprint()[:12]}..., got "
+                f"{delta.old_fingerprint[:12]}...)"
+            )
+        new_graph = delta.graph
+        grown = np.arange(
+            self.graph.num_vertices, new_graph.num_vertices, dtype=np.int64
+        )
+        if grown.size:
+            self.partition = self.partition.extend(
+                self.partition.assign_balanced(grown.shape[0])
+            )
+            for s in range(self.num_shards):
+                self._shards[s].grow(self.partition.shard_vertices[s].shape[0])
+        if self.oriented:
+            new_base, touched = delta.oriented_update(self._base)
+            self._patch_resketch(touched, new_base)
+            self._base = new_base
+        else:
+            dirty = delta.dirty_vertices
+            ins_vertices, ins_indptr, ins_indices = delta.insertions_excluding(dirty)
+            self._patch_insert(new_graph, ins_vertices, ins_indptr, ins_indices)
+            self._patch_resketch(dirty, new_graph)
+            touched = np.union1d(ins_vertices, dirty)
+            self._base = new_graph
+        self.graph = new_graph
+        touched = np.union1d(touched, grown)
+        if touched.size:
+            self._update_counts += np.bincount(
+                self.partition.owners[touched], minlength=self.num_shards
+            )
+        if self._source is not None and (
+            self._source.snapshot() is new_graph
+            or self._source.snapshot().fingerprint() == new_graph.fingerprint()
+        ):
+            self._source_version = self._source.version
+        self._last_patch = (delta.new_fingerprint, touched)
+        for index in list(self._lsh_indexes):
+            index._patch_touched(touched)
+        return int(touched.size)
+
+    def _patch_insert(
+        self,
+        new_graph: CSRGraph,
+        ins_vertices: np.ndarray,
+        ins_indptr: np.ndarray,
+        ins_indices: np.ndarray,
+    ) -> None:
+        """Apply the pure-insertion sub-delta of each owning shard in place."""
+        if ins_vertices.size == 0:
+            return
+        counts = np.diff(ins_indptr)
+        owners = self.partition.owners[ins_vertices]
+        for s in np.unique(owners):
+            sel = owners == s
+            vs = ins_vertices[sel]
+            flat = ragged_gather(ins_indptr[:-1][sel], counts[sel])
+            sub_indptr = np.concatenate([[0], np.cumsum(counts[sel])]).astype(np.int64)
+            new_sizes = (
+                new_graph.indptr[vs + 1] - new_graph.indptr[vs]
+            ).astype(np.float64)
+            self._shards[int(s)].apply_delta(
+                self.partition.local_index[vs], sub_indptr, ins_indices[flat], new_sizes
+            )
+
+    def _patch_resketch(self, rows: np.ndarray, base: CSRGraph) -> None:
+        """Rebuild the given global rows from ``base`` and scatter them in place.
+
+        The containers' ``resketch_rows`` indexes its CSR arguments by the
+        container's own row IDs, which are shard-*local* here while the
+        adjacency is global — so instead, slice the global row block
+        (:func:`~repro.graph.partition.slice_row_block`), rebuild it with the
+        reference builder (``family.sketch_neighborhoods``, the same pure
+        function a fresh shard build runs), and scatter the ``_row_arrays``
+        payload — the complete per-row state — into the owners' containers.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        owners = self.partition.owners[rows]
+        for s in np.unique(owners):
+            vs = rows[owners == s]
+            local_indptr, local_indices = slice_row_block(base.indptr, base.indices, vs)
+            fresh = self.family.sketch_neighborhoods(local_indptr, local_indices)
+            shard = self._shards[int(s)]
+            local = self.partition.local_index[vs]
+            for name in shard._row_arrays:
+                getattr(shard, name)[local] = getattr(fresh, name)
+
+    # ------------------------------------------------------------ skew / balance
+    def skew_stats(self) -> ShardSkewStats:
+        """Current per-shard placement and patch-activity counts."""
+        edges = np.bincount(
+            self.partition.owners,
+            weights=self.graph.degrees.astype(np.float64),
+            minlength=self.num_shards,
+        ).astype(np.int64)
+        return ShardSkewStats(
+            vertices=self.partition.shard_sizes(),
+            edges=edges,
+            updates=self._update_counts.copy(),
+        )
+
+    def repartition(self, method: str = "hash", seed: int | None = None) -> ShardSkewStats:
+        """Re-balance vertex ownership by redistributing the existing sketch rows.
+
+        Sketch rows are position-independent, so rebalancing never rebuilds a
+        sketch: the shard containers are concatenated, reordered into the new
+        ownership, and re-split with ``take_rows`` — an ``O(n · k)`` row
+        shuffle with no hashing.  Registered LSH indexes are re-banded over
+        the new layout.  Call when :meth:`skew_stats` reports
+        ``needs_repartition()`` (streams that grow the graph unevenly, or a
+        locality partition whose regions drifted).  Resets the update
+        counters and returns the fresh stats.
+        """
+        self._check_fresh()
+        merged = concat_sketch_rows(self._shards)
+        order = np.concatenate(self.partition.shard_vertices)
+        inverse = np.empty(self.graph.num_vertices, dtype=np.int64)
+        inverse[order] = np.arange(self.graph.num_vertices, dtype=np.int64)
+        self.partition = partition_graph(
+            self.graph, self.num_shards, method=method,
+            seed=self.seed if seed is None else int(seed),
+        )
+        self._shards = [
+            merged.take_rows(inverse[self.partition.shard_vertices[s]])
+            for s in range(self.num_shards)
+        ]
+        self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
+        self._last_patch = None
+        for index in list(self._lsh_indexes):
+            index._rebuild_from_engine()
+        return self.skew_stats()
+
     # ----------------------------------------------------------------- queries
     def pair_intersections(
         self,
@@ -428,6 +723,7 @@ class ShardedEngine:
         parameters and seed: each pair is evaluated from the same two sketch
         rows by the same pure estimator, merely *where* the rows live.
         """
+        self._check_fresh()
         kind = self._resolve_estimator(estimator)
         u = np.asarray(u, dtype=np.int64).ravel()
         v = np.asarray(v, dtype=np.int64).ravel()
@@ -504,6 +800,7 @@ class ShardedEngine:
                 f"unknown measure {measure!r}; expected 'jaccard', 'intersection', "
                 "or 'common_neighbors'"
             )
+        self._check_fresh()
         kind = self._resolve_estimator(estimator)
         sources = np.asarray(sources, dtype=np.int64).ravel()
         if candidates is None:
@@ -656,6 +953,7 @@ class ShardedEngine:
         every single-process engine path — including being cached in a
         :class:`~repro.engine.PGSession` (the ``shards=`` build option).
         """
+        self._check_fresh()
         merged = concat_sketch_rows(self._shards)
         order = np.concatenate(self.partition.shard_vertices)
         inverse = np.empty(self.graph.num_vertices, dtype=np.int64)
@@ -720,20 +1018,35 @@ class ShardedLSHIndex:
                 )
             self.resolution: LSHResolution | None = None
             self._shard_indexes: list[LSHIndex] = []
+            self._pending = np.empty(0, dtype=np.int64)
+            engine._lsh_indexes.add(self)
             return
         self.resolution = _resolve_band_split(
             sig[0].shape[1], num_bands, rows_per_band, threshold
         )
+        self._rebuild_from_engine()
+        # Registered indexes are marked dirty by ShardedEngine.apply_delta and
+        # re-banded by ShardedEngine.repartition, so they track the shards
+        # for as long as they are alive (weak registration — dropping the
+        # index is enough to stop paying for its maintenance).
+        engine._lsh_indexes.add(self)
+
+    def _rebuild_from_engine(self) -> None:
+        """(Re)build the per-shard tables over the engine's current shard layout."""
+        if self.resolution is None:
+            return
+        engine = self.engine
         self._shard_indexes = [
             LSHIndex(
                 engine._shards[s],
                 num_bands=self.resolution.num_bands,
                 rows_per_band=self.resolution.rows_per_band,
-                threshold=threshold,
+                threshold=self.threshold,
                 vertex_ids=engine.partition.shard_vertices[s],
             )
             for s in range(engine.num_shards)
         ]
+        self._pending = np.empty(0, dtype=np.int64)
 
     @property
     def banded(self) -> bool:
@@ -752,8 +1065,64 @@ class ShardedLSHIndex:
 
     @property
     def num_entries(self) -> int:
-        """Total bucket entries across every shard's tables."""
+        """Total bucket entries across every shard's tables (flushes patches)."""
+        self._flush_pending()
         return sum(index.num_entries for index in self._shard_indexes)
+
+    # --------------------------------------------------------------- patching
+    def apply_delta(self, delta: "GraphDelta") -> int:
+        """Re-key the touched rows' bucket entries after the engine was patched.
+
+        Mirrors :meth:`LSHIndex.apply_delta <repro.engine.lsh.LSHIndex.apply_delta>`
+        for the per-shard tables: the engine must already have routed this
+        delta (:meth:`ShardedEngine.apply_delta` — which marks every
+        *registered* index's touched rows automatically, so an explicit call
+        is a harmless idempotent re-key), and only the rows the delta touched
+        are re-hashed into each owning shard's table.  This call flushes
+        eagerly; a routed patch alone defers the re-key to the next probe.
+        Returns the number of re-keyed rows.
+        """
+        engine = self.engine
+        if engine.graph.fingerprint() != delta.new_fingerprint:
+            raise ValueError(
+                "patch the engine first: ShardedEngine.apply_delta routes the "
+                "delta to the shard containers this index bands over"
+            )
+        if engine._last_patch is None or engine._last_patch[0] != delta.new_fingerprint:
+            raise ValueError(
+                "this delta is not the engine's most recent patch; rebuild the "
+                "index (ShardedEngine.lsh_index) instead of patching it"
+            )
+        self._patch_touched(engine._last_patch[1])
+        return self._flush_pending()
+
+    def _patch_touched(self, touched: np.ndarray) -> int:
+        """Mark (already patched) global rows dirty; re-keying waits for a probe.
+
+        Bucket tables are only *read* at probe time, so a batch stream never
+        pays one table splice per delta — dirty rows accumulate here and
+        :meth:`_flush_pending` re-keys their union on the next probe /
+        ``num_entries`` read (or on an explicit :meth:`apply_delta`).
+        """
+        if not self.banded:
+            return 0
+        self._pending = np.union1d(self._pending, touched)
+        return int(touched.size)
+
+    def _flush_pending(self) -> int:
+        """Re-key every pending dirty row in its owning shard's tables."""
+        if not self.banded or self._pending.shape[0] == 0:
+            return 0
+        touched, self._pending = self._pending, np.empty(0, dtype=np.int64)
+        partition = self.engine.partition
+        owners = partition.owners[touched]
+        total = 0
+        for s, index in enumerate(self._shard_indexes):
+            # Growth may have extended this shard's owned-vertex list; swap in
+            # the current one before re-keying (rekey_rows checks the length).
+            index.vertex_ids = partition.shard_vertices[s]
+            total += index.rekey_rows(partition.local_index[touched[owners == s]])
+        return total
 
     def _source_band_keys(self, sources: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Band keys of each source, computed on its owner shard's rows.
@@ -786,6 +1155,8 @@ class ShardedLSHIndex:
         <repro.engine.lsh.LSHIndex.query_candidates_batch>` (every bucket
         entry lives in exactly one shard's table).
         """
+        self.engine._check_fresh()
+        self._flush_pending()
         sources = np.asarray(sources, dtype=np.int64).ravel()
         if candidates is not None:
             candidates = np.unique(np.asarray(candidates, dtype=np.int64).ravel())

@@ -146,6 +146,56 @@ class ShardPartition:
         cut = self.owners[edges[:, 0]] != self.owners[edges[:, 1]]
         return float(np.count_nonzero(cut)) / float(edges.shape[0])
 
+    def assign_balanced(self, num_new: int) -> np.ndarray:
+        """Owners for ``num_new`` vertices appended after the current ones.
+
+        Each new vertex goes to the currently smallest shard (lowest shard ID
+        on ties) — a deterministic greedy balance, so a delta that grows the
+        graph never concentrates the new rows on one shard.  Pair with
+        :meth:`extend`.
+        """
+        if num_new < 0:
+            raise ValueError("num_new must be non-negative")
+        sizes = self.shard_sizes()
+        owners = np.empty(num_new, dtype=np.int64)
+        for i in range(num_new):
+            s = int(np.argmin(sizes))
+            owners[i] = s
+            sizes[s] += 1
+        return owners
+
+    def extend(self, new_owners: np.ndarray) -> "ShardPartition":
+        """A partition over ``num_vertices + len(new_owners)`` vertices.
+
+        The new vertices carry IDs above every existing one, so each appends
+        to the *end* of its shard's (ascending) vertex list: every existing
+        vertex keeps its local row index, which is what lets grown per-shard
+        sketch containers be patched in place instead of rebuilt.
+        """
+        new_owners = np.asarray(new_owners, dtype=np.int64).ravel()
+        if new_owners.size == 0:
+            return self
+        if new_owners.min() < 0 or new_owners.max() >= self.num_shards:
+            raise ValueError("new owners must lie in [0, num_shards)")
+        n = self.num_vertices
+        new_ids = n + np.arange(new_owners.shape[0], dtype=np.int64)
+        local_index = np.concatenate(
+            [self.local_index, np.empty(new_owners.shape[0], dtype=np.int64)]
+        )
+        shard_vertices = []
+        for s in range(self.num_shards):
+            extra = new_ids[new_owners == s]
+            local_index[extra] = self.shard_vertices[s].shape[0] + np.arange(
+                extra.shape[0], dtype=np.int64
+            )
+            shard_vertices.append(np.concatenate([self.shard_vertices[s], extra]))
+        return ShardPartition(
+            np.concatenate([self.owners, new_owners]),
+            self.num_shards,
+            tuple(shard_vertices),
+            local_index,
+        )
+
     def row_block(self, indptr: np.ndarray, indices: np.ndarray, shard: int) -> tuple[np.ndarray, np.ndarray]:
         """The CSR row block of one shard's owned vertices, in local row order.
 
