@@ -1,0 +1,20 @@
+PYTHON ?= python
+
+.PHONY: lint test examples
+
+# Static analysis gate: reprolint (always) + mypy (when installed).
+# CI runs both unconditionally; the local fallback keeps `make lint` usable
+# in environments without mypy.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --config-file setup.cfg -p repro; \
+	else \
+		echo "mypy not installed locally; skipped (CI runs it)"; \
+	fi
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+examples:
+	for ex in examples/*.py; do PYTHONPATH=src $(PYTHON) $$ex || exit 1; done

@@ -1,0 +1,36 @@
+"""Static analysis for the repro codebase (``reprolint``).
+
+The linter enforces the invariants the paper's accuracy and reproducibility
+guarantees depend on: hash-purity of sketch construction, the five-family
+container contract, pinned dtypes in kernel allocations, lock discipline
+around shared caches, and picklability of process-pool work items.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.lint src/
+
+See :mod:`repro.analysis.rules` for the rule catalogue.
+"""
+
+from typing import Any
+
+from .rules import Finding, RULE_CATEGORIES
+
+__all__ = [
+    "Finding",
+    "RULE_CATEGORIES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+# The driver is imported lazily so `python -m repro.analysis.lint` does not
+# trip runpy's found-in-sys.modules warning (the package would otherwise
+# import the submodule before runpy executes it as __main__).
+def __getattr__(name: str) -> Any:
+    if name in ("lint_file", "lint_paths", "lint_source", "main"):
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

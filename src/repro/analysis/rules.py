@@ -1,0 +1,566 @@
+"""The reprolint rule set: repo-specific determinism & contract checks.
+
+Every rule here encodes an invariant the paper's guarantees rest on — and
+that at least one past regression has violated:
+
+* **determinism** (``REPRO101``–``REPRO103``): sketch construction must be a
+  pure function of ``(graph, params, seed)``.  Process-salted ``hash()``
+  seeding silently broke cross-process reproducibility once (the
+  ``graph/datasets.py`` stand-in generator bug); global-RNG calls and
+  wall-clock values are the same failure mode waiting to happen.
+* **family-contract** (``REPRO201``–``REPRO204``): any container declaring
+  ``_row_arrays`` opts into the row scatter-gather machinery of the sharded
+  engine; it must also declare ``_param_attrs`` and implement the incremental
+  maintenance methods with the reference signatures of
+  :class:`repro.sketches.base.NeighborhoodSketches`, or shard routing and
+  delta patching break at runtime on that family only.
+* **dtype** (``REPRO301``): ``np.zeros``/``np.empty``/``np.full`` in kernel
+  modules must pin an explicit dtype — bit-identity across rebuild /
+  incremental / sharded paths depends on every backing array having the same
+  width everywhere.
+* **lock** (``REPRO401``): mutations of lock-guarded cache state must happen
+  under ``with self._lock`` (the un-locked ``PGSession._cache`` mutation bug).
+* **pickle** (``REPRO501``): callables handed to a ``ProcessPoolExecutor``
+  must be module-level, or the sharded build dies with a pickling error only
+  when ``shards > 1``.
+
+Rules operate on the AST plus a light import-alias resolution; they are
+deliberately syntactic (no type inference) so the whole pass stays fast and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULE_CATEGORIES",
+    "KERNEL_PACKAGES",
+    "all_rule_checks",
+]
+
+#: Sub-packages of ``repro`` whose modules are "kernel" code: they build or
+#: mutate sketch state, so the determinism and dtype rules apply there.
+KERNEL_PACKAGES = ("sketches", "core", "engine", "dynamic")
+
+#: Finding code → rule category (the name usable in ``reprolint: allow[...]``).
+RULE_CATEGORIES = {
+    "REPRO001": "suppression",
+    "REPRO101": "determinism",
+    "REPRO102": "determinism",
+    "REPRO103": "determinism",
+    "REPRO201": "family-contract",
+    "REPRO202": "family-contract",
+    "REPRO203": "family-contract",
+    "REPRO204": "family-contract",
+    "REPRO301": "dtype",
+    "REPRO401": "lock",
+    "REPRO501": "pickle",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def category(self) -> str:
+        return RULE_CATEGORIES[self.code]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.category}] {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about the module being linted."""
+
+    path: str
+    tree: ast.Module
+    kernel: bool
+    #: local name → canonical module path ("np" → "numpy").
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: name bound by ``from X import Y [as Z]`` → canonical dotted path.
+    from_imports: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".", 1)[0]
+                        self.module_aliases[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.from_imports[bound] = f"{node.module}.{alias.name}"
+
+    def dotted(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of an expression, resolving import aliases.
+
+        ``np.random.default_rng`` → ``"numpy.random.default_rng"`` when ``np``
+        aliases numpy; returns ``None`` for expressions rooted in local names.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.module_aliases.get(cur.id) or self.from_imports.get(cur.id)
+        if root is None:
+            return None
+        return ".".join([root, *reversed(parts)])
+
+    def references(self, canonical_prefix: str) -> bool:
+        """Whether any import in the module resolves under ``canonical_prefix``."""
+        names = list(self.module_aliases.values()) + list(self.from_imports.values())
+        return any(n == canonical_prefix or n.startswith(canonical_prefix + ".") for n in names)
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: determinism (kernel modules only)
+# ---------------------------------------------------------------------------
+
+#: numpy.random constructors that are fine *when explicitly seeded*.
+_SEEDED_RNG_FACTORIES = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937", "RandomState"}
+)
+
+#: Wall-clock / monotonic time sources; any value derived from them differs
+#: between two runs of the same build, so none may flow into kernel state.
+_TIME_DEPENDENT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def check_determinism(ctx: ModuleContext) -> list[Finding]:
+    """Ban ``hash()`` seeds, global-RNG calls, and time-dependent values in kernels."""
+    if not ctx.kernel:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO101",
+                    "builtin hash() is salted per process (PYTHONHASHSEED); derive seeds "
+                    "with repro.sketches.hashing.splitmix64 or an explicit integer",
+                )
+            )
+            continue
+        dotted = ctx.dotted(func)
+        if dotted is None:
+            continue
+        if dotted.startswith("numpy.random."):
+            tail = dotted.rsplit(".", 1)[1]
+            if tail not in _SEEDED_RNG_FACTORIES or not (node.args or node.keywords):
+                findings.append(
+                    Finding(
+                        ctx.path, node.lineno, node.col_offset, "REPRO102",
+                        f"{dotted}() draws from process-global or unseeded RNG state; "
+                        "use np.random.default_rng(seed) with an explicit seed",
+                    )
+                )
+            continue
+        if dotted == "random.Random" and (node.args or node.keywords):
+            continue  # explicitly seeded instance RNG
+        if dotted.startswith("random."):
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO102",
+                    f"{dotted}() uses the process-global random module state; "
+                    "use np.random.default_rng(seed) with an explicit seed",
+                )
+            )
+            continue
+        if dotted in _TIME_DEPENDENT:
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO103",
+                    f"{dotted}() is time-dependent; kernel values must be pure functions "
+                    "of (graph, params, seed)",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: sketch-family contract (all modules)
+# ---------------------------------------------------------------------------
+
+#: Reference positional-parameter names (after ``self``) of the incremental
+#: maintenance contract — must match repro.sketches.base.NeighborhoodSketches.
+_CONTRACT_REQUIRED = {
+    "apply_delta": ("vertices", "delta_indptr", "delta_indices", "new_sizes"),
+    "resketch_rows": ("vertices", "indptr", "indices"),
+    "grow": ("num_sets",),
+}
+_CONTRACT_OPTIONAL = {
+    "update_many": ("vertex", "new_neighbors"),
+}
+
+
+def _class_attr_tuple(cls: ast.ClassDef, name: str) -> tuple[str, ...] | None:
+    """The string-tuple value of a class-level ``name = ("a", "b")`` assignment."""
+    for stmt in cls.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == name) or value is None:
+            continue
+        if isinstance(value, ast.Tuple) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str) for e in value.elts
+        ):
+            return tuple(e.value for e in value.elts)  # type: ignore[misc]
+        return ()
+    return None
+
+
+def _self_assigned_attrs(cls: ast.ClassDef) -> set[str]:
+    """Names ``X`` with a ``self.X = ...`` assignment anywhere in the class body."""
+    names: set[str] = set()
+    for node in ast.walk(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for t in targets:
+            if (
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+            ):
+                names.add(t.attr)
+    return names
+
+
+def check_family_contract(ctx: ModuleContext) -> list[Finding]:
+    """Classes declaring ``_row_arrays`` must satisfy the full container contract."""
+    findings: list[Finding] = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        row_arrays = _class_attr_tuple(cls, "_row_arrays")
+        if not row_arrays:  # absent or explicitly empty: not a row container
+            continue
+        if _class_attr_tuple(cls, "_param_attrs") is None:
+            findings.append(
+                Finding(
+                    ctx.path, cls.lineno, cls.col_offset, "REPRO201",
+                    f"{cls.name} declares _row_arrays but not _param_attrs; rows cannot "
+                    "be routed between shards without a family compatibility key",
+                )
+            )
+        methods = {
+            stmt.name: stmt for stmt in cls.body if isinstance(stmt, ast.FunctionDef)
+        }
+        for name, ref_params in _CONTRACT_REQUIRED.items():
+            if name not in methods:
+                findings.append(
+                    Finding(
+                        ctx.path, cls.lineno, cls.col_offset, "REPRO202",
+                        f"{cls.name} declares _row_arrays but does not implement {name}"
+                        f"({', '.join(ref_params)}); incremental maintenance and shard "
+                        "routing require it",
+                    )
+                )
+        for name, ref_params in {**_CONTRACT_REQUIRED, **_CONTRACT_OPTIONAL}.items():
+            fn = methods.get(name)
+            if fn is None:
+                continue
+            params = tuple(
+                a.arg for a in (fn.args.posonlyargs + fn.args.args) if a.arg != "self"
+            )
+            if params != ref_params:
+                findings.append(
+                    Finding(
+                        ctx.path, fn.lineno, fn.col_offset, "REPRO203",
+                        f"{cls.name}.{name}({', '.join(params)}) does not match the "
+                        f"reference signature ({', '.join(ref_params)}) of "
+                        "repro.sketches.base.NeighborhoodSketches",
+                    )
+                )
+        assigned = _self_assigned_attrs(cls)
+        for arr in row_arrays:
+            if arr not in assigned:
+                findings.append(
+                    Finding(
+                        ctx.path, cls.lineno, cls.col_offset, "REPRO204",
+                        f"{cls.name}._row_arrays names {arr!r} but no method assigns "
+                        f"self.{arr}; take_rows/concat would scatter a missing array",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: dtype discipline (kernel modules only)
+# ---------------------------------------------------------------------------
+
+#: numpy allocators and the positional index where dtype may appear.
+_ALLOCATORS = {"numpy.zeros": 1, "numpy.empty": 1, "numpy.full": 2}
+
+
+def check_dtype(ctx: ModuleContext) -> list[Finding]:
+    """``np.zeros``/``np.empty``/``np.full`` in kernels must pin an explicit dtype."""
+    if not ctx.kernel:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = ctx.dotted(node.func)
+        if dotted not in _ALLOCATORS:
+            continue
+        dtype_pos = _ALLOCATORS[dotted]
+        has_dtype = len(node.args) > dtype_pos or any(
+            kw.arg == "dtype" for kw in node.keywords
+        )
+        if not has_dtype:
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO301",
+                    f"{dotted}() without an explicit dtype=; sketch bit-identity across "
+                    "rebuild/incremental/sharded paths requires pinned array widths",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: lock discipline (all modules)
+# ---------------------------------------------------------------------------
+
+#: Constructors whose result is treated as lock-guarded mutable cache state.
+_GUARDED_FACTORIES = frozenset(
+    {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+#: Method calls that mutate a dict/list/set in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "clear", "pop", "popitem", "update", "setdefault", "move_to_end",
+        "append", "extend", "insert", "remove", "add", "discard",
+    }
+)
+
+
+def _is_self_attr(node: ast.expr, names: set[str]) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in names
+    ):
+        return node.attr
+    return None
+
+
+def _lock_and_guarded_attrs(cls: ast.ClassDef) -> tuple[set[str], set[str]]:
+    locks: set[str] = set()
+    guarded: set[str] = set()
+    for fn in cls.body:
+        if not isinstance(fn, ast.FunctionDef):
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for t in targets:
+                if not (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ):
+                    continue
+                name = t.attr
+                if "lock" in name.lower():
+                    locks.add(name)
+                    continue
+                if fn.name != "__init__" or value is None:
+                    continue
+                if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+                    guarded.add(name)
+                elif isinstance(value, ast.Call):
+                    func = value.func
+                    callee = (
+                        func.id if isinstance(func, ast.Name)
+                        else func.attr if isinstance(func, ast.Attribute)
+                        else ""
+                    )
+                    if callee in _GUARDED_FACTORIES or name.endswith("_cache"):
+                        guarded.add(name)
+    return locks, guarded
+
+
+def _walk_lock_scope(
+    node: ast.AST, locks: set[str], under_lock: bool, visit: Callable[[ast.AST, bool], None]
+) -> None:
+    """Recursive walk tracking whether ``with self.<lock>`` encloses each node."""
+    entered = under_lock
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            if _is_self_attr(item.context_expr, locks):
+                entered = True
+    visit(node, entered)
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested callables run later, under their own discipline
+        _walk_lock_scope(child, locks, entered, visit)
+
+
+def check_lock_discipline(ctx: ModuleContext) -> list[Finding]:
+    """Guarded cache state may only be mutated under ``with self.<lock>``."""
+    findings: list[Finding] = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks, guarded = _lock_and_guarded_attrs(cls)
+        if not locks or not guarded:
+            continue
+
+        def report(attr: str, node: ast.AST) -> None:
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO401",  # type: ignore[attr-defined]
+                    f"self.{attr} is lock-guarded state ({'/'.join(sorted(locks))}) "
+                    f"but is mutated outside `with self.{sorted(locks)[0]}`",
+                )
+            )
+
+        def visit(node: ast.AST, under_lock: bool) -> None:
+            if under_lock:
+                return
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for t in targets:
+                    attr = _is_self_attr(t, guarded)
+                    if attr is None and isinstance(t, ast.Subscript):
+                        attr = _is_self_attr(t.value, guarded)
+                    if attr is not None:
+                        report(attr, node)
+            elif isinstance(node, ast.Delete):
+                for t in node.targets:
+                    base = t.value if isinstance(t, ast.Subscript) else t
+                    attr = _is_self_attr(base, guarded)
+                    if attr is not None:
+                        report(attr, node)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATOR_METHODS:
+                    attr = _is_self_attr(node.func.value, guarded)
+                    if attr is not None:
+                        report(attr, node)
+
+        for fn in cls.body:
+            if isinstance(fn, ast.FunctionDef) and fn.name != "__init__":
+                _walk_lock_scope(fn, locks, False, visit)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: picklability (modules using ProcessPoolExecutor)
+# ---------------------------------------------------------------------------
+
+
+def _nested_function_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module-level function names, function names defined inside functions)."""
+    module_level = {
+        stmt.name for stmt in tree.body if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    nested: set[str] = set()
+
+    def walk(node: ast.AST, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_function:
+                    nested.add(child.name)
+                walk(child, True)
+            else:
+                walk(child, in_function)
+
+    walk(tree, False)
+    return module_level, nested
+
+
+def check_picklability(ctx: ModuleContext) -> list[Finding]:
+    """Callables submitted to a ProcessPoolExecutor must be module-level."""
+    if not ctx.references("concurrent.futures"):
+        return []
+    module_level, nested = _nested_function_names(ctx.tree)
+    lambda_names = {
+        t.id
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda)
+        for t in node.targets
+        if isinstance(t, ast.Name)
+    }
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("submit", "map")
+            and node.args
+        ):
+            continue
+        fn = node.args[0]
+        reason: str | None = None
+        if isinstance(fn, ast.Lambda):
+            reason = "a lambda"
+        elif isinstance(fn, ast.Name):
+            if fn.id in lambda_names:
+                reason = f"{fn.id!r}, which is bound to a lambda"
+            elif fn.id in nested and fn.id not in module_level:
+                reason = f"nested function {fn.id!r}"
+        if reason is not None:
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO501",
+                    f"{reason} submitted to a process pool cannot be pickled; "
+                    "move the callable to module level",
+                )
+            )
+    return findings
+
+
+def all_rule_checks() -> Iterator[Callable[[ModuleContext], list[Finding]]]:
+    """The registered rule entry points, in reporting order."""
+    yield check_determinism
+    yield check_family_contract
+    yield check_dtype
+    yield check_lock_discipline
+    yield check_picklability

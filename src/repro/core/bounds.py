@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 
-def _clip_probability(p):
+def _clip_probability(p: float | np.ndarray) -> float | np.ndarray:
     return float(np.clip(p, 0.0, 1.0)) if np.ndim(p) == 0 else np.clip(p, 0.0, 1.0)
 
 

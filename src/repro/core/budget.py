@@ -156,7 +156,9 @@ class LSHResolution:
         return lsh_collision_probability(similarity, self.num_bands, self.rows_per_band)
 
 
-def lsh_collision_probability(similarity, num_bands: int, rows_per_band: int):
+def lsh_collision_probability(
+    similarity: float | np.ndarray, num_bands: int, rows_per_band: int
+) -> float | np.ndarray:
     """The banding S-curve ``1 - (1 - s**r)**b`` (scalar or array ``s``).
 
     For k-hash MinHash signatures this is the exact probability (over the hash

@@ -70,7 +70,7 @@ class EstimatorKind(str, Enum):
         return self.value
 
 
-def _validate_bf_params(num_bits, num_hashes) -> None:
+def _validate_bf_params(num_bits: int | float | np.ndarray, num_hashes: int | float | np.ndarray) -> None:
     num_bits = np.asarray(num_bits)
     num_hashes = np.asarray(num_hashes)
     if np.any(num_bits <= 0):

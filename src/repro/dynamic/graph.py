@@ -47,7 +47,7 @@ __all__ = [
 _EMPTY_EDGES = np.empty((0, 2), dtype=np.int64)
 
 
-def _as_edge_array(edges) -> np.ndarray:
+def _as_edge_array(edges: np.ndarray | Iterable[Iterable[int]] | None) -> np.ndarray:
     """Normalize any edge collection into an ``(m, 2)`` int64 array."""
     if edges is None:
         return _EMPTY_EDGES
@@ -345,9 +345,15 @@ class DynamicGraph:
             deleted_edges=deleted,
         )
 
-    def apply_edges(self, insertions=None, deletions=None) -> GraphDelta:
+    def apply_edges(
+        self,
+        insertions: np.ndarray | Iterable[Iterable[int]] | None = None,
+        deletions: np.ndarray | Iterable[Iterable[int]] | None = None,
+    ) -> GraphDelta:
         """Convenience wrapper: apply one ad-hoc batch of raw edge arrays."""
-        return self.apply(EdgeBatch(insertions=insertions, deletions=deletions))
+        return self.apply(
+            EdgeBatch(insertions=_as_edge_array(insertions), deletions=_as_edge_array(deletions))
+        )
 
     # -------------------------------------------------------------- internals
     def _locate(self, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -28,12 +28,14 @@ See ``docs/architecture.md`` for the full caching/chunking contract.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from ..core.estimators import EstimatorKind, intersection_to_jaccard
 from ..core.probgraph import ProbGraph
 from ..parallel.executor import ParallelConfig, chunked_ranges, parallel_edge_map
+from ..sketches.base import SketchContainer
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
@@ -161,7 +163,7 @@ def record_topk() -> None:
     _STATS.topk_queries += 1
 
 
-def resolve_chunk_pairs(sketches, config: EngineConfig | None = None) -> int:
+def resolve_chunk_pairs(sketches: SketchContainer, config: EngineConfig | None = None) -> int:
     """Pick the streaming chunk size for a query against ``sketches``.
 
     Explicit ``max_chunk_pairs`` wins; otherwise the memory budget is divided
@@ -183,7 +185,9 @@ def _as_pair_arrays(u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarra
     return u, v
 
 
-def iter_pair_chunks(sketches, total: int, config: EngineConfig | None = None):
+def iter_pair_chunks(
+    sketches: SketchContainer, total: int, config: EngineConfig | None = None
+) -> Iterator[tuple[int, int]]:
     """Yield ``(start, stop)`` windows for streaming ``total`` pairs, with accounting.
 
     This is the engine's edge-enumeration contract: algorithms whose inner work

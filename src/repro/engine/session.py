@@ -47,6 +47,8 @@ from ..core.probgraph import (
 from ..graph.csr import CSRGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ProcessPoolExecutor
+
     from ..dynamic.graph import GraphDelta
     from .lsh import LSHIndex
 from .batch import (
@@ -123,7 +125,7 @@ class PGSession:
         max_entries: int = 8,
         config: EngineConfig | None = None,
         shards: int | None = None,
-        pool=None,
+        pool: "ProcessPoolExecutor | None" = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")

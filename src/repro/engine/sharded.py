@@ -49,6 +49,10 @@ import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.shared_memory import SharedMemory
 
 import numpy as np
 
@@ -191,7 +195,7 @@ class ShardSkewStats:
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
-def _attach_shared_memory(name: str):
+def _attach_shared_memory(name: str) -> "SharedMemory":
     """Attach an existing shared-memory block; the parent owns and unlinks it.
 
     Fork-started workers (the Linux default this engine targets) share the
@@ -326,9 +330,10 @@ class ShardedEngine:
         self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
         self._lsh_indexes: "weakref.WeakSet[ShardedLSHIndex]" = weakref.WeakSet()
         self._last_patch: tuple[str, np.ndarray] | None = None
+        # reprolint: allow[determinism] -- wall-clock timing stat only; never feeds hash/seed/sketch state
         start = time.perf_counter()
         self._shards: list[NeighborhoodSketches] = self._build(pool, max_workers, transport)
-        self.construction_seconds = time.perf_counter() - start
+        self.construction_seconds = time.perf_counter() - start  # reprolint: allow[determinism] -- timing stat only
 
     # ------------------------------------------------------------ construction
     def _shard_specs(self, transport: str) -> tuple[list[tuple], object | None]:
@@ -442,7 +447,7 @@ class ShardedEngine:
         return self.params.representation
 
     # ---------------------------------------------------------------- routing
-    def _route(self, u: np.ndarray, v: np.ndarray):
+    def _route(self, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Home shard, cut mask, and shipped endpoint of every queried pair.
 
         Mirrors :func:`repro.parallel.distributed.communication_volume`: a

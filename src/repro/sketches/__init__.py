@@ -4,7 +4,14 @@ Exports the Bloom-filter, MinHash (k-hash and 1-hash / bottom-k), KMV, and
 HyperLogLog families along with their per-set and whole-graph batch containers.
 """
 
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, concat_sketch_rows
+from .base import (
+    NeighborhoodSketches,
+    SetSketch,
+    SketchContainer,
+    SketchFamily,
+    as_id_array,
+    concat_sketch_rows,
+)
 from .bloom import BloomFamily, BloomFilter, BloomNeighborhoodSketches
 from .hashing import HashFamily, MultiplyShiftFamily, hash_to_range, hash_to_unit, hash_u64, splitmix64
 from .hll import HLL_REGISTER_BITS, HLLFamily, HLLNeighborhoodSketches, HyperLogLog
@@ -18,9 +25,22 @@ from .minhash import (
     KHashSignature,
 )
 
+#: All five family containers, typed against the :class:`SketchContainer`
+#: Protocol — mypy statically verifies each class satisfies the contract, and
+#: ``tests/test_reprolint.py`` re-checks it at runtime via ``isinstance``.
+SKETCH_CONTAINER_TYPES: tuple[type[SketchContainer], ...] = (
+    BloomNeighborhoodSketches,
+    KHashNeighborhoodSketches,
+    BottomKNeighborhoodSketches,
+    KMVNeighborhoodSketches,
+    HLLNeighborhoodSketches,
+)
+
 __all__ = [
     "SetSketch",
     "SketchFamily",
+    "SketchContainer",
+    "SKETCH_CONTAINER_TYPES",
     "NeighborhoodSketches",
     "as_id_array",
     "concat_sketch_rows",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..graph.csr import ragged_gather
 __all__ = [
     "SetSketch",
     "SketchFamily",
+    "SketchContainer",
     "as_id_array",
     "ragged_gather",
     "iter_count_groups",
@@ -48,7 +49,7 @@ def as_id_array(elements: Iterable[int] | np.ndarray) -> np.ndarray:
     return arr.astype(np.int64, copy=False)
 
 
-def iter_count_groups(counts: np.ndarray):
+def iter_count_groups(counts: np.ndarray) -> Iterator[tuple[np.ndarray, int]]:
     """Yield ``(positions, count)`` groups of equal positive counts.
 
     Value-sketch construction and maintenance (bottom-k, KMV) sort each
@@ -116,6 +117,64 @@ class SketchFamily(abc.ABC):
     @abc.abstractmethod
     def bits_per_set(self) -> int:
         """Storage (bits) used per sketched set; constant across sets by design."""
+
+
+@runtime_checkable
+class SketchContainer(Protocol):
+    """Structural contract of a per-vertex sketch container.
+
+    This is the formal statement of what every family's ``NeighborhoodSketches``
+    subclass provides and what the engine/dynamic layers may rely on: batch
+    estimation (``cardinalities`` / ``pair_intersections`` and its chunked,
+    memory-bounded variant), budget accounting, row scatter-gather identity
+    (``family_key`` / ``take_rows``), and bit-identical incremental maintenance
+    (``apply_delta`` / ``resketch_rows`` / ``grow`` / ``update_many``).
+
+    All five families (Bloom, k-hash MinHash, bottom-k, KMV, HLL) are checked
+    against this Protocol statically (see ``repro.sketches``'s conformance
+    tuple) and at runtime via ``isinstance`` — the Protocol is
+    ``runtime_checkable``, which verifies member presence only, so the static
+    check is the authoritative one.  The semantic half of the contract
+    (signature names, row-array bookkeeping) is enforced by the
+    ``family-contract`` rules of ``repro.analysis``.
+    """
+
+    @property
+    def num_sets(self) -> int: ...
+
+    @property
+    def total_storage_bits(self) -> int: ...
+
+    @property
+    def pair_scratch_bytes(self) -> int: ...
+
+    def family_key(self) -> tuple: ...
+
+    def cardinalities(self) -> np.ndarray: ...
+
+    def pair_intersections(self, u: np.ndarray, v: np.ndarray) -> np.ndarray: ...
+
+    def pair_intersections_chunked(
+        self, u: np.ndarray, v: np.ndarray, max_chunk_pairs: int, **kwargs: Any
+    ) -> np.ndarray: ...
+
+    def take_rows(self, rows: np.ndarray) -> "SketchContainer": ...
+
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None: ...
+
+    def resketch_rows(
+        self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+    ) -> None: ...
+
+    def grow(self, num_sets: int) -> None: ...
+
+    def update_many(self, vertex: int, new_neighbors: Iterable[int] | np.ndarray) -> None: ...
 
 
 class NeighborhoodSketches(abc.ABC):
@@ -189,7 +248,7 @@ class NeighborhoodSketches(abc.ABC):
         return self._DEFAULT_PAIR_SCRATCH_BYTES
 
     def pair_intersections_chunked(
-        self, u: np.ndarray, v: np.ndarray, max_chunk_pairs: int, **kwargs
+        self, u: np.ndarray, v: np.ndarray, max_chunk_pairs: int, **kwargs: Any
     ) -> np.ndarray:
         """Chunk contract: evaluate ``pair_intersections`` in fixed-size slices.
 

@@ -308,7 +308,13 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
             masks = np.uint64(1) << (pos % _WORD_BITS).astype(np.uint64)
             np.bitwise_or.at(self.words, (rows, pos // _WORD_BITS), masks)
 
-    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None:
         """Set the bits of the new neighbors — insertion is native to Bloom filters."""
         vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
             vertices, delta_indptr, delta_indices, new_sizes
@@ -319,7 +325,7 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
         self._or_elements(owners, delta_indices)
         self.exact_sizes[vertices] = new_sizes
 
-    def resketch_rows(self, vertices, indptr, indices) -> None:
+    def resketch_rows(self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray) -> None:
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
             return
@@ -342,7 +348,7 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
         self.words = np.concatenate(
             [self.words, np.zeros((extra, self.words.shape[1]), dtype=np.uint64)]
         )
-        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra, dtype=np.float64)])
 
     def sketch_of(self, v: int) -> BloomFilter:
         """Materialize the standalone :class:`BloomFilter` of vertex ``v`` (mostly for tests)."""

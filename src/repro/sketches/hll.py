@@ -262,7 +262,13 @@ class HLLNeighborhoodSketches(NeighborhoodSketches):
         flat = self.registers.reshape(-1)
         np.maximum.at(flat, rows * m + idx, rank)
 
-    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None:
         """Register-max insertion of each row's new neighbors (O(1) per element).
 
         A register holds the max rank over the row's elements; max is
@@ -280,7 +286,7 @@ class HLLNeighborhoodSketches(NeighborhoodSketches):
             self._scatter_max(rows, idx, rank)
         self.exact_sizes[vertices] = new_sizes
 
-    def resketch_rows(self, vertices, indptr, indices) -> None:
+    def resketch_rows(self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray) -> None:
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
             return
@@ -307,7 +313,7 @@ class HLLNeighborhoodSketches(NeighborhoodSketches):
         self.registers = np.concatenate(
             [self.registers, np.zeros((extra, self.num_registers), dtype=np.uint8)]
         )
-        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra, dtype=np.float64)])
 
     def sketch_of(self, v: int) -> HyperLogLog:
         """Materialize the standalone HLL sketch of vertex ``v`` (mostly for tests)."""

@@ -160,7 +160,13 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
         return np.asarray(kmv_intersection_exact_sizes(su, sv, union_est), dtype=np.float64)
 
     # -- incremental maintenance -------------------------------------------
-    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None:
         """Merge the new neighbors' unit-interval hashes into each bounded k-minimum heap."""
         vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
             vertices, delta_indptr, delta_indices, new_sizes
@@ -178,7 +184,7 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
                 self.values[rows] = merged[:, : self.k]
         self.exact_sizes[vertices] = new_sizes
 
-    def resketch_rows(self, vertices, indptr, indices) -> None:
+    def resketch_rows(self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray) -> None:
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
             return
@@ -205,7 +211,7 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
         self.values = np.concatenate(
             [self.values, np.full((extra, self.k), _EMPTY, dtype=np.float64)]
         )
-        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra, dtype=np.float64)])
 
     def sketch_of(self, v: int) -> KMVSketch:
         """Materialize the standalone KMV sketch of vertex ``v`` (mostly for tests)."""

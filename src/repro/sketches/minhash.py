@@ -163,7 +163,13 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
         return np.asarray(minhash_intersection(matches, self.k, su, sv), dtype=np.float64)
 
     # -- incremental maintenance -------------------------------------------
-    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None:
         """Lower each permutation's minimum with the new neighbors' hashes (O(k) per element)."""
         vertices, delta_indptr, delta_indices, new_sizes = self._normalize_delta(
             vertices, delta_indptr, delta_indices, new_sizes
@@ -181,7 +187,7 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
                 self.signatures[rows, i] = np.minimum(self.signatures[rows, i], mins)
         self.exact_sizes[vertices] = new_sizes
 
-    def resketch_rows(self, vertices, indptr, indices) -> None:
+    def resketch_rows(self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray) -> None:
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
             return
@@ -210,7 +216,7 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
         self.signatures = np.concatenate(
             [self.signatures, np.full((extra, self.k), _EMPTY, dtype=np.uint64)]
         )
-        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra, dtype=np.float64)])
 
     def sketch_of(self, v: int) -> KHashSignature:
         """Materialize the standalone signature of vertex ``v`` (mostly for tests)."""
@@ -450,7 +456,13 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
         return jaccard / (1.0 + jaccard) * (su + sv)
 
     # -- incremental maintenance -------------------------------------------
-    def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes) -> None:
+    def apply_delta(
+        self,
+        vertices: np.ndarray,
+        delta_indptr: np.ndarray,
+        delta_indices: np.ndarray,
+        new_sizes: np.ndarray,
+    ) -> None:
         """Merge the new neighbors' hashes into each row's bounded bottom-k heap.
 
         The retained values of a row are the ``k`` smallest hashes of its set;
@@ -474,7 +486,7 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
                 self.values[rows] = merged[:, : self.k]
         self.exact_sizes[vertices] = new_sizes
 
-    def resketch_rows(self, vertices, indptr, indices) -> None:
+    def resketch_rows(self, vertices: np.ndarray, indptr: np.ndarray, indices: np.ndarray) -> None:
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
             return
@@ -501,7 +513,7 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
         self.values = np.concatenate(
             [self.values, np.full((extra, self.k), _EMPTY, dtype=np.uint64)]
         )
-        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra)])
+        self.exact_sizes = np.concatenate([self.exact_sizes, np.zeros(extra, dtype=np.float64)])
 
     def sketch_of(self, v: int) -> BottomKSketch:
         """Materialize the standalone bottom-k sketch of vertex ``v`` (mostly for tests)."""

@@ -1,0 +1,386 @@
+"""Tests for ``repro.analysis`` (reprolint) and the SketchContainer Protocol.
+
+The bad fixtures are minimal reproductions of real regressions this repo has
+shipped and later fixed: the PR 2 process-salted ``hash(name)`` seed, the PR 5
+un-locked ``PGSession._cache`` mutation, and the pickling failure mode of
+callables handed to a process pool.  Each rule category must fire on its bad
+fixture and stay quiet on the clean equivalent, and a self-run over ``src/``
+must report zero findings.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.lint import main
+from repro.sketches import (
+    SKETCH_CONTAINER_TYPES,
+    BloomFamily,
+    BottomKFamily,
+    HLLFamily,
+    KHashFamily,
+    KMVFamily,
+    SketchContainer,
+)
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def codes(source: str, **kwargs) -> list[str]:
+    return [f.code for f in lint_source(textwrap.dedent(source), **kwargs)]
+
+
+# ---------------------------------------------------------------------------
+# determinism (REPRO101-103)
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_pr2_hash_seed_regression_fires(self):
+        # Minimal reproduction of the PR 2 bug: builtin hash() is salted per
+        # process, so this "seed" differs between two runs of the same build.
+        bad = """
+            def dataset_seed(name):
+                return hash(name) & 0xFFFFFFFF
+        """
+        assert codes(bad, kernel=True) == ["REPRO101"]
+
+    def test_splitmix_seed_equivalent_is_quiet(self):
+        good = """
+            from repro.sketches.hashing import splitmix64
+            import numpy as np
+
+            def dataset_seed(name_bytes: np.ndarray) -> int:
+                return int(splitmix64(name_bytes, 0)[0])
+        """
+        assert codes(good, kernel=True) == []
+
+    def test_global_numpy_rng_fires(self):
+        bad = """
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n)
+        """
+        assert codes(bad, kernel=True) == ["REPRO102"]
+
+    def test_unseeded_default_rng_fires_seeded_is_quiet(self):
+        assert codes(
+            "import numpy as np\nrng = np.random.default_rng()\n", kernel=True
+        ) == ["REPRO102"]
+        assert codes(
+            "import numpy as np\nrng = np.random.default_rng(42)\n", kernel=True
+        ) == []
+
+    def test_random_module_fires(self):
+        bad = """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)
+        """
+        assert codes(bad, kernel=True) == ["REPRO102"]
+
+    def test_time_dependent_value_fires(self):
+        bad = """
+            import time
+
+            def make_seed():
+                return int(time.time_ns())
+        """
+        assert codes(bad, kernel=True) == ["REPRO103"]
+
+    def test_kernel_scoping_by_path(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert codes(src, path="src/repro/sketches/x.py") == ["REPRO103"]
+        # evalharness/ and benchmarks are free to measure wall-clock time.
+        assert codes(src, path="src/repro/evalharness/x.py") == []
+
+    def test_attribute_named_hash_is_not_flagged(self):
+        # HashFamily.hash(...) is the repo's own deterministic hash; only the
+        # builtin hash() is banned.
+        good = """
+            def sketch(family, arr):
+                return family.hash(arr, 0)
+        """
+        assert codes(good, kernel=True) == []
+
+
+# ---------------------------------------------------------------------------
+# family contract (REPRO201-204)
+# ---------------------------------------------------------------------------
+_CLEAN_CONTAINER = """
+    import numpy as np
+
+    class GoodSketches:
+        _row_arrays = ("rows", "exact_sizes")
+        _param_attrs = ("k", "seed")
+
+        def __init__(self, rows, k, seed, exact_sizes):
+            self.rows = rows
+            self.k = k
+            self.seed = seed
+            self.exact_sizes = exact_sizes
+
+        def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes):
+            pass
+
+        def resketch_rows(self, vertices, indptr, indices):
+            pass
+
+        def grow(self, num_sets):
+            pass
+"""
+
+
+class TestFamilyContract:
+    def test_clean_container_is_quiet(self):
+        assert codes(_CLEAN_CONTAINER) == []
+
+    def test_missing_param_attrs_fires(self):
+        bad = _CLEAN_CONTAINER.replace('_param_attrs = ("k", "seed")\n', "")
+        assert "REPRO201" in codes(bad)
+
+    def test_missing_contract_method_fires(self):
+        bad = _CLEAN_CONTAINER.replace(
+            "def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes):\n            pass",
+            "",
+        )
+        assert "REPRO202" in codes(bad)
+
+    def test_signature_drift_fires(self):
+        bad = _CLEAN_CONTAINER.replace(
+            "def resketch_rows(self, vertices, indptr, indices):",
+            "def resketch_rows(self, verts, ptr, idx):",
+        )
+        assert codes(bad) == ["REPRO203"]
+
+    def test_unassigned_row_array_fires(self):
+        bad = _CLEAN_CONTAINER.replace("self.exact_sizes = exact_sizes\n", "")
+        assert codes(bad) == ["REPRO204"]
+
+    def test_class_without_row_arrays_is_exempt(self):
+        assert codes("class Helper:\n    def grow(self, n):\n        pass\n") == []
+
+
+# ---------------------------------------------------------------------------
+# dtype discipline (REPRO301)
+# ---------------------------------------------------------------------------
+class TestDtype:
+    def test_missing_dtype_fires(self):
+        assert codes("import numpy as np\nx = np.zeros(10)\n", kernel=True) == ["REPRO301"]
+
+    def test_explicit_dtype_is_quiet(self):
+        good = """
+            import numpy as np
+            a = np.zeros(10, dtype=np.float64)
+            b = np.empty(0, np.int64)
+            c = np.full((2, 3), 7, dtype=np.uint8)
+        """
+        assert codes(good, kernel=True) == []
+
+    def test_missing_fill_dtype_fires(self):
+        assert codes("import numpy as np\nx = np.full(4, 0.0)\n", kernel=True) == ["REPRO301"]
+
+    def test_non_kernel_module_is_exempt(self):
+        assert codes("import numpy as np\nx = np.zeros(10)\n", kernel=False) == []
+
+
+# ---------------------------------------------------------------------------
+# lock discipline (REPRO401)
+# ---------------------------------------------------------------------------
+_LOCKED_SESSION = """
+    import threading
+    from collections import OrderedDict
+
+    class Session:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._cache = OrderedDict()
+
+        def put(self, key, value):
+            with self._lock:
+                self._cache[key] = value
+
+        def clear(self):
+            with self._lock:
+                self._cache.clear()
+"""
+
+
+class TestLockDiscipline:
+    def test_locked_mutations_are_quiet(self):
+        assert codes(_LOCKED_SESSION) == []
+
+    def test_pr5_unlocked_cache_mutation_fires(self):
+        # Minimal reproduction of the PR 5 bug: a cache write outside the lock
+        # races against concurrent eviction.
+        bad = _LOCKED_SESSION.replace(
+            "        def put(self, key, value):\n"
+            "            with self._lock:\n"
+            "                self._cache[key] = value\n",
+            "        def put(self, key, value):\n"
+            "            self._cache[key] = value\n",
+        )
+        assert codes(bad) == ["REPRO401"]
+
+    def test_unlocked_mutator_method_fires(self):
+        bad = _LOCKED_SESSION + "\n        def evict(self):\n            self._cache.popitem()\n"
+        assert codes(bad) == ["REPRO401"]
+
+    def test_class_without_lock_is_exempt(self):
+        no_lock = """
+            from collections import OrderedDict
+
+            class Plain:
+                def __init__(self):
+                    self._cache = OrderedDict()
+
+                def put(self, key, value):
+                    self._cache[key] = value
+        """
+        assert codes(no_lock) == []
+
+    def test_reads_are_allowed_outside_lock(self):
+        ok = _LOCKED_SESSION + "\n        def peek(self, key):\n            return self._cache.get(key)\n"
+        assert codes(ok) == []
+
+
+# ---------------------------------------------------------------------------
+# picklability (REPRO501)
+# ---------------------------------------------------------------------------
+class TestPicklability:
+    def test_lambda_submitted_to_pool_fires(self):
+        bad = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(xs):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(lambda x: x + 1, xs))
+        """
+        assert codes(bad) == ["REPRO501"]
+
+    def test_nested_function_fires(self):
+        bad = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(xs):
+                def work(x):
+                    return x + 1
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, xs))
+        """
+        assert codes(bad) == ["REPRO501"]
+
+    def test_module_level_function_is_quiet(self):
+        good = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                return x + 1
+
+            def run(xs):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, xs))
+        """
+        assert codes(good) == []
+
+    def test_thread_pools_are_exempt(self):
+        # Lambdas pickle fine across threads; the rule only gates modules that
+        # use process pools.
+        ok = """
+            from multiprocessing.pool import ThreadPool
+
+            def run(xs):
+                with ThreadPool() as pool:
+                    return list(pool.map(lambda x: x + 1, xs))
+        """
+        assert codes(ok) == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+class TestSuppressions:
+    BAD_LINE = "import time\nt = time.perf_counter()"
+
+    def test_justified_suppression_silences(self):
+        src = self.BAD_LINE + "  # reprolint: allow[determinism] -- timing stat only\n"
+        assert codes(src, kernel=True) == []
+
+    def test_suppression_by_code_and_above_line(self):
+        src = "import time\n# reprolint: allow[REPRO103] -- timing stat only\nt = time.perf_counter()\n"
+        assert codes(src, kernel=True) == []
+
+    def test_bare_suppression_is_itself_a_finding(self):
+        src = self.BAD_LINE + "  # reprolint: allow[determinism]\n"
+        found = codes(src, kernel=True)
+        assert "REPRO001" in found  # missing justification
+        assert "REPRO103" in found  # and the original finding stays live
+
+    def test_wrong_category_does_not_silence(self):
+        src = self.BAD_LINE + "  # reprolint: allow[dtype] -- wrong category\n"
+        assert codes(src, kernel=True) == ["REPRO103"]
+
+
+# ---------------------------------------------------------------------------
+# self-run and CLI
+# ---------------------------------------------------------------------------
+class TestSelfRun:
+    def test_src_tree_has_zero_findings(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        bad = tmp_path / "bad" / "repro" / "sketches" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("seed = hash('name')\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO101" in out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# SketchContainer Protocol conformance
+# ---------------------------------------------------------------------------
+class TestProtocolConformance:
+    def test_all_five_families_registered(self):
+        assert len(SKETCH_CONTAINER_TYPES) == 5
+
+    @pytest.mark.parametrize(
+        "family",
+        [
+            BloomFamily(num_bits=64, num_hashes=2, seed=0),
+            KHashFamily(k=8, seed=0),
+            BottomKFamily(k=8, seed=0),
+            KMVFamily(k=8, seed=0),
+            HLLFamily(precision=6, seed=0),
+        ],
+        ids=["bloom", "khash", "bottomk", "kmv", "hll"],
+    )
+    def test_runtime_conformance(self, family):
+        indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+        indices = np.array([1, 2, 0, 0], dtype=np.int64)
+        sketches = family.sketch_neighborhoods(indptr, indices)
+        assert isinstance(sketches, SketchContainer)
+        assert type(sketches) in SKETCH_CONTAINER_TYPES
+
+
+# ---------------------------------------------------------------------------
+# mypy gate (runs only where mypy is installed, e.g. the CI lint job)
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+def test_mypy_strict_dirs_pass():
+    api = pytest.importorskip("mypy.api", reason="mypy not installed")
+    repo = SRC.parent
+    stdout, stderr, status = api.run(
+        ["--config-file", str(repo / "setup.cfg"), "-p", "repro"]
+    )
+    assert status == 0, stdout + stderr
