@@ -1,12 +1,14 @@
 PYTHON ?= python
 
-.PHONY: lint test examples
+.PHONY: lint test examples sanitize
 
 # Static analysis gate: reprolint (always) + mypy (when installed).
 # CI runs both unconditionally; the local fallback keeps `make lint` usable
-# in environments without mypy.
+# in environments without mypy.  Scripts (benchmarks/examples/tests) are
+# linted with the relaxed profile: lifecycle/pickle rules on, determinism off.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint --profile=scripts benchmarks/ examples/ tests/
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy --config-file setup.cfg -p repro; \
 	else \
@@ -15,6 +17,11 @@ lint:
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Dynamic analysis gate: the focused concurrency subset under the reprosan
+# runtime sanitizer (strict mode), plus the <2x overhead measurement.
+sanitize:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sanitizer_overhead.py
 
 examples:
 	for ex in examples/*.py; do PYTHONPATH=src $(PYTHON) $$ex || exit 1; done

@@ -122,6 +122,7 @@ def main() -> None:
         f"{model.reduction_factor:.1f}x more)"
     )
 
+    engine.close()
     cpus = os.cpu_count() or 1
     if args.smoke:
         print("smoke mode: speedup assertion skipped (capped workload)")

@@ -144,9 +144,9 @@ def main() -> None:
                 queries_served += 2
             if bi in sample_at:
                 t0 = time.perf_counter()
-                fresh = ShardedEngine(dyn.snapshot(), args.shards, pool=pool, **params)
-                fresh.lsh_index()
-                rebuild_times.append(time.perf_counter() - t0)
+                with ShardedEngine(dyn.snapshot(), args.shards, pool=pool, **params) as fresh:
+                    fresh.lsh_index()
+                    rebuild_times.append(time.perf_counter() - t0)
 
         # Flush the tail window's deferred LSH re-keys on the clock, so the
         # incremental side pays for every entry the rebuild side has.
@@ -155,14 +155,15 @@ def main() -> None:
         incremental_seconds += time.perf_counter() - t0
 
         # --- correctness: patched shards == fresh sharded rebuild -----------
-        fresh = ShardedEngine(dyn.snapshot(), args.shards, pool=pool, **params)
-        patched_pg, fresh_pg = engine.to_probgraph(), fresh.to_probgraph()
+        with ShardedEngine(dyn.snapshot(), args.shards, pool=pool, **params) as fresh:
+            patched_pg, fresh_pg = engine.to_probgraph(), fresh.to_probgraph()
         for name, arr in _sketch_payload(patched_pg).items():
             assert np.array_equal(arr, _sketch_payload(fresh_pg)[name]), name
         print(
             f"bit-identity: patched shards == fresh sharded rebuild on the final "
             f"graph ({dyn.num_edges:,} edges) across {len(patched_pg.sketches._row_arrays)} row arrays"
         )
+        engine.close()
 
     rebuild_per_batch = float(np.mean(rebuild_times))
     rebuild_total = rebuild_per_batch * num_batches

@@ -35,6 +35,8 @@ def main() -> None:
     # --- a live engine + LSH index over the evolving graph ------------------
     dyn = DynamicGraph(num_vertices=graph.num_vertices)
     dyn.apply_edges(insertions=edges[:warmup])
+    # close() is the engine's lifecycle boundary (the reprosan segment audit
+    # point); the explicit call at the end mirrors `with ShardedEngine(...)`.
     engine = ShardedEngine(dyn, NUM_SHARDS, **PARAMS)
     index = engine.lsh_index()
     print(
@@ -81,8 +83,9 @@ def main() -> None:
         print(f"repartitioned: edge imbalance now {engine.skew_stats().edge_imbalance:.2f}")
 
     # --- the whole point: patched shards == a fresh sharded rebuild ---------
-    fresh = ShardedEngine(dyn.snapshot(), NUM_SHARDS, **PARAMS)
-    patched_pg, fresh_pg = engine.to_probgraph(), fresh.to_probgraph()
+    with ShardedEngine(dyn.snapshot(), NUM_SHARDS, **PARAMS) as fresh:
+        patched_pg, fresh_pg = engine.to_probgraph(), fresh.to_probgraph()
+    engine.close()
     identical = all(
         np.array_equal(getattr(patched_pg.sketches, name), getattr(fresh_pg.sketches, name))
         for name in patched_pg.sketches._row_arrays

@@ -32,7 +32,17 @@ from .rules import (
     all_rule_checks,
 )
 
-__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "main"]
+__all__ = ["Finding", "PROFILES", "lint_source", "lint_file", "lint_paths", "main"]
+
+#: Named rule profiles: category allow-list, or ``None`` for every rule.
+#: ``src`` is the full set for library code; ``scripts`` is the relaxed set
+#: for benchmarks/examples/tests — determinism and kernel-contract rules off
+#: (scripts time things and seed ad hoc), lifecycle/pickle rules on (a leaked
+#: segment or a lock shipped to a pool is a bug anywhere).
+PROFILES: dict[str, frozenset[str] | None] = {
+    "src": None,
+    "scripts": frozenset({"suppression", "pickle", "lifecycle"}),
+}
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*reprolint:\s*allow\[([^\]]*)\]\s*(?:--\s*(\S.*))?"
@@ -84,9 +94,16 @@ def _is_suppressed(finding: Finding, allowed: dict[int, set[str]]) -> bool:
 
 
 def lint_source(
-    source: str, path: str = "<string>", kernel: bool | None = None
+    source: str,
+    path: str = "<string>",
+    kernel: bool | None = None,
+    categories: frozenset[str] | None = None,
 ) -> list[Finding]:
-    """Lint a source string; ``kernel`` overrides path-based scoping for tests."""
+    """Lint a source string; ``kernel`` overrides path-based scoping for tests.
+
+    ``categories`` restricts reporting to the given rule categories (a
+    :data:`PROFILES` value); ``None`` reports everything.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -102,12 +119,14 @@ def lint_source(
     allowed, bare = _suppressions(source, path)
     findings = [f for f in findings if not _is_suppressed(f, allowed)]
     findings.extend(bare)
+    if categories is not None:
+        findings = [f for f in findings if f.category in categories]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
 
-def lint_file(path: Path) -> list[Finding]:
-    return lint_source(path.read_text(encoding="utf-8"), str(path))
+def lint_file(path: Path, categories: frozenset[str] | None = None) -> list[Finding]:
+    return lint_source(path.read_text(encoding="utf-8"), str(path), categories=categories)
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
@@ -120,10 +139,12 @@ def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
             yield path
 
 
-def lint_paths(paths: Iterable[Path]) -> list[Finding]:
+def lint_paths(
+    paths: Iterable[Path], categories: frozenset[str] | None = None
+) -> list[Finding]:
     findings: list[Finding] = []
     for path in _iter_python_files(paths):
-        findings.extend(lint_file(path))
+        findings.extend(lint_file(path, categories=categories))
     return findings
 
 
@@ -139,6 +160,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print rule codes and exit"
     )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="src",
+        help="rule profile: 'src' (all rules) or 'scripts' (lifecycle/pickle "
+        "only, for benchmarks/examples/tests)",
+    )
     ns = parser.parse_args(argv)
     if ns.list_rules:
         for code, category in sorted(RULE_CATEGORIES.items()):
@@ -149,7 +175,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
-    findings = lint_paths(targets)
+    findings = lint_paths(targets, categories=PROFILES[ns.profile])
     for finding in findings:
         print(finding.render())
     n_files = sum(1 for _ in _iter_python_files(targets))

@@ -14,15 +14,24 @@ that at least one past regression has violated:
   maintenance methods with the reference signatures of
   :class:`repro.sketches.base.NeighborhoodSketches`, or shard routing and
   delta patching break at runtime on that family only.
-* **dtype** (``REPRO301``): ``np.zeros``/``np.empty``/``np.full`` in kernel
-  modules must pin an explicit dtype — bit-identity across rebuild /
+* **dtype** (``REPRO301``, ``REPRO305``): ``np.zeros``/``np.empty``/``np.full``
+  in kernel modules must pin an explicit dtype — bit-identity across rebuild /
   incremental / sharded paths depends on every backing array having the same
-  width everywhere.
+  width everywhere — and an array pinned that way must not be *rebound* from
+  arithmetic on itself, which silently promotes the width back out (the bug
+  class behind the PR 8 float64 pins).
 * **lock** (``REPRO401``): mutations of lock-guarded cache state must happen
   under ``with self._lock`` (the un-locked ``PGSession._cache`` mutation bug).
-* **pickle** (``REPRO501``): callables handed to a ``ProcessPoolExecutor``
-  must be module-level, or the sharded build dies with a pickling error only
-  when ``shards > 1``.
+* **pickle** (``REPRO501``, ``REPRO502``): callables handed to a
+  ``ProcessPoolExecutor`` must be module-level, or the sharded build dies with
+  a pickling error only when ``shards > 1``; and the *arguments* shipped with
+  them must not drag locks, SharedMemory handles, or whole ``self`` objects
+  across the process boundary.
+* **lifecycle** (``REPRO601``): OS-backed resources (SharedMemory segments,
+  pools, file handles) acquired outside a ``with`` must have a reachable
+  release — a ``close``/``__exit__`` method for instance attributes, a
+  ``finally`` block (or an escape to the caller) for locals — the static half
+  of the ``reprosan`` SharedMemory lifecycle tracker.
 
 Rules operate on the AST plus a light import-alias resolution; they are
 deliberately syntactic (no type inference) so the whole pass stays fast and
@@ -58,8 +67,11 @@ RULE_CATEGORIES = {
     "REPRO203": "family-contract",
     "REPRO204": "family-contract",
     "REPRO301": "dtype",
+    "REPRO305": "dtype",
     "REPRO401": "lock",
     "REPRO501": "pickle",
+    "REPRO502": "pickle",
+    "REPRO601": "lifecycle",
 }
 
 
@@ -360,6 +372,96 @@ def check_dtype(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+def _allocator_with_dtype(ctx: ModuleContext, value: ast.expr) -> bool:
+    """Whether ``value`` is an allocator call that pins an explicit dtype."""
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = ctx.dotted(value.func)
+    if dotted in _ALLOCATORS:
+        dtype_pos = _ALLOCATORS[dotted]
+        return len(value.args) > dtype_pos or any(
+            kw.arg == "dtype" for kw in value.keywords
+        )
+    # ``x.astype(np.float64)`` re-pins explicitly.
+    return isinstance(value.func, ast.Attribute) and value.func.attr == "astype"
+
+
+def _iter_scope_statements(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of one function/module scope in source order.
+
+    Descends into compound statements (``if``/``for``/``with``/``try``) but
+    not into nested function or class definitions — those are their own
+    dataflow scopes.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield stmt
+        for block in ("body", "orelse", "finalbody", "handlers"):
+            children = getattr(stmt, block, None)
+            if not children:
+                continue
+            for child in children:
+                if isinstance(child, ast.ExceptHandler):
+                    yield from _iter_scope_statements(child.body)
+                elif isinstance(child, ast.stmt):
+                    yield from _iter_scope_statements([child])
+
+
+def check_dtype_widening(ctx: ModuleContext) -> list[Finding]:
+    """An explicitly-pinned array must not be rebound from arithmetic on itself.
+
+    ``counts = np.zeros(n, dtype=np.float64)`` followed by
+    ``counts = counts / total`` silently promotes (or demotes) the backing
+    dtype depending on the other operand — the width the first line pinned is
+    gone.  In-place updates (``counts /= total``) and explicit re-pins
+    (``counts = (counts / total).astype(np.float64)``) keep the dtype and are
+    allowed.  REPRO305, the dataflow sibling of REPRO301.
+    """
+    if not ctx.kernel:
+        return []
+    findings: list[Finding] = []
+
+    def scan(body: list[ast.stmt]) -> None:
+        pinned: set[str] = set()
+        for stmt in _iter_scope_statements(body):
+            if isinstance(stmt, ast.AugAssign):
+                continue  # in-place ops cast to the existing dtype
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None or len(targets) != 1 or not isinstance(targets[0], ast.Name):
+                continue
+            name = targets[0].id
+            if _allocator_with_dtype(ctx, value):
+                pinned.add(name)
+                continue
+            if (
+                name in pinned
+                and isinstance(value, ast.BinOp)
+                and any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(value)
+                )
+            ):
+                findings.append(
+                    Finding(
+                        ctx.path, stmt.lineno, stmt.col_offset, "REPRO305",
+                        f"{name!r} was allocated with an explicit dtype but is rebound "
+                        "from arithmetic on itself, which can promote the dtype; use an "
+                        "in-place op or re-pin with .astype(...)",
+                    )
+                )
+            pinned.discard(name)  # any other rebind loses the pin
+
+    scan(ctx.tree.body)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan(node.body)
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # Rule 4: lock discipline (all modules)
 # ---------------------------------------------------------------------------
@@ -557,10 +659,244 @@ def check_picklability(ctx: ModuleContext) -> list[Finding]:
     return findings
 
 
+#: Terminal-name fragments marking an object that must never cross a process
+#: boundary: locks deadlock-or-pickle-fail, SharedMemory handles double-free.
+_UNPICKLABLE_HINTS = ("lock", "mutex", "semaphore", "shm", "shared_memory")
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def check_pool_captures(ctx: ModuleContext) -> list[Finding]:
+    """Arguments shipped to a process pool must not hold locks or shm handles.
+
+    Submitting ``self.method`` pickles the whole owning object — including any
+    lock or SharedMemory handle it holds, which either fails to pickle or
+    (worse) resurrects an unsynchronized copy in the worker.  Passing ``self``
+    or anything whose name says lock/shm as a payload argument is the same
+    bug one level down.  REPRO502, the payload sibling of REPRO501.
+    """
+    if not ctx.references("concurrent.futures.ProcessPoolExecutor"):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("submit", "map")
+            and node.args
+        ):
+            continue
+        fn = node.args[0]
+        if (
+            isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "self"
+        ):
+            findings.append(
+                Finding(
+                    ctx.path, node.lineno, node.col_offset, "REPRO502",
+                    f"submitting bound method self.{fn.attr} to a process pool pickles "
+                    "the entire owner (locks, shm handles and all); submit a "
+                    "module-level function with explicit array arguments",
+                )
+            )
+        payload: list[ast.expr] = list(node.args[1:]) + [
+            kw.value for kw in node.keywords
+        ]
+        for arg in payload:
+            if isinstance(arg, ast.Name) and arg.id == "self":
+                findings.append(
+                    Finding(
+                        ctx.path, arg.lineno, arg.col_offset, "REPRO502",
+                        "passing self to a process pool ships every lock and handle "
+                        "the object holds; pass the plain arrays/params instead",
+                    )
+                )
+                continue
+            name = _terminal_name(arg)
+            if name is not None and any(
+                hint in name.lower() for hint in _UNPICKLABLE_HINTS
+            ):
+                findings.append(
+                    Finding(
+                        ctx.path, arg.lineno, arg.col_offset, "REPRO502",
+                        f"{name!r} looks like a lock or SharedMemory handle being "
+                        "shipped to a process pool; pass the segment *name* (a str) "
+                        "and re-attach in the worker",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 6: resource lifecycle (all modules)
+# ---------------------------------------------------------------------------
+
+#: Canonical constructors whose result owns an OS-backed resource.
+_ACQUISITION_CALLS = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+    }
+)
+
+#: Methods that release such a resource.
+_RELEASE_METHODS = frozenset({"close", "unlink", "shutdown", "terminate", "release"})
+
+#: Class methods in which a release of an ``__init__``-acquired resource counts.
+_RELEASE_SCOPES = frozenset({"close", "__exit__", "__del__", "shutdown", "stop"})
+
+
+def _is_acquisition(ctx: ModuleContext, value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = ctx.dotted(value.func)
+    if dotted in _ACQUISITION_CALLS:
+        return True
+    if isinstance(value.func, ast.Name) and value.func.id == "open":
+        return True
+    callee = _terminal_name(value.func)
+    return callee is not None and "attach_shared_memory" in callee
+
+
+def _released_self_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attrs ``X`` referenced as ``self.X`` inside a release-scope method."""
+    released: set[str] = set()
+    for fn in cls.body:
+        if not (isinstance(fn, ast.FunctionDef) and fn.name in _RELEASE_SCOPES):
+            continue
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                released.add(node.attr)
+    return released
+
+
+def _locals_released_in_finally(fn: ast.AST) -> set[str]:
+    """Local names with an ``x.<release>()`` call inside some ``finally`` block."""
+    released: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, (ast.Try,)):
+            continue
+        for stmt in node.finalbody:
+            for call in ast.walk(stmt):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _RELEASE_METHODS
+                    and isinstance(call.func.value, ast.Name)
+                ):
+                    released.add(call.func.value.id)
+    return released
+
+
+def _escaping_locals(fn: ast.AST) -> set[str]:
+    """Locals that leave the function: returned, yielded, or passed to a call."""
+    escaping: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            for name in ast.walk(node.value):
+                if isinstance(name, ast.Name):
+                    escaping.add(name.id)
+        elif isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name):
+                    escaping.add(arg.id)
+    return escaping
+
+
+def check_resource_lifecycle(ctx: ModuleContext) -> list[Finding]:
+    """Acquired resources need a reachable release path.  REPRO601.
+
+    Two shapes: ``self.X = SharedMemory(...)`` in ``__init__`` demands a
+    ``close``/``__exit__``-style method that touches ``self.X``; a bare local
+    ``shm = SharedMemory(...)`` must either escape to the caller (returned or
+    handed to another call — ownership transferred) or be released inside a
+    ``finally`` block, because any exception between acquire and a straight-
+    line ``shm.close()`` leaks the OS object — the exact shape of the sharded
+    worker's attach-leak bug.  ``with`` acquisitions are exempt by
+    construction.
+    """
+    findings: list[Finding] = []
+    # -- instance attributes acquired in __init__ ---------------------------
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        init = next(
+            (
+                f
+                for f in cls.body
+                if isinstance(f, ast.FunctionDef) and f.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            continue
+        released = _released_self_attrs(cls)
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if _is_acquisition(ctx, node.value) and target.attr not in released:
+                findings.append(
+                    Finding(
+                        ctx.path, node.lineno, node.col_offset, "REPRO601",
+                        f"self.{target.attr} acquires an OS-backed resource in __init__ "
+                        f"but no {'/'.join(sorted(_RELEASE_SCOPES))} method releases it; "
+                        "the object cannot be shut down cleanly",
+                    )
+                )
+    # -- function locals ----------------------------------------------------
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        released_locals = _locals_released_in_finally(fn)
+        escaping = _escaping_locals(fn)
+        for stmt in _iter_scope_statements(fn.body):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if not _is_acquisition(ctx, stmt.value):
+                continue
+            name = target.id
+            if name in released_locals or name in escaping:
+                continue
+            findings.append(
+                Finding(
+                    ctx.path, stmt.lineno, stmt.col_offset, "REPRO601",
+                    f"{name!r} acquires an OS-backed resource with no release in a "
+                    "finally block and no escape to the caller; an exception on any "
+                    "later line leaks it -- use `with`, or close in finally",
+                )
+            )
+    return findings
+
+
 def all_rule_checks() -> Iterator[Callable[[ModuleContext], list[Finding]]]:
     """The registered rule entry points, in reporting order."""
     yield check_determinism
     yield check_family_contract
     yield check_dtype
+    yield check_dtype_widening
     yield check_lock_discipline
     yield check_picklability
+    yield check_pool_captures
+    yield check_resource_lifecycle

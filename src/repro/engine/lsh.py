@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..analysis import runtime as _san
 from ..core.budget import DEFAULT_LSH_THRESHOLD, LSHResolution, resolve_lsh_params
 from ..core.estimators import EstimatorKind
 from ..core.probgraph import ProbGraph
@@ -199,6 +200,11 @@ class LSHIndex:
             self.sketches = source
         self.threshold = float(threshold)
         self.stats = LSHIndexStats()
+        # Bucket tables are rebuilt/spliced under this lock; reads (probe)
+        # are lock-free against the immutable sorted arrays.  Under reprosan
+        # the lock feeds the lock-order graph and every table write is
+        # epoch-stamped against it.
+        self._table_lock = _san.make_rlock("LSHIndex.tables")
         if vertex_ids is None:
             vertex_ids = np.arange(self.sketches.num_sets, dtype=np.int64)
         else:
@@ -296,6 +302,7 @@ class LSHIndex:
 
     def _store_sorted(self, keys: np.ndarray, verts: np.ndarray) -> None:
         """Canonical entry order: by key, then vertex ID — rebuild/patch agree."""
+        _san.stamp_write(self._table_lock, "LSHIndex.tables")
         order = np.lexsort((verts, keys))
         self._keys = keys[order]
         self._verts = verts[order]
@@ -329,6 +336,7 @@ class LSHIndex:
         compound-key ``searchsorted`` reproduces ``_store_sorted``'s canonical
         order bit-for-bit at linear cost.
         """
+        _san.stamp_write(self._table_lock, "LSHIndex.tables")
         order = np.lexsort((new_verts, new_keys))
         new_keys, new_verts = new_keys[order], new_verts[order]
         old_keys, old_verts = self._keys[keep], self._verts[keep]
@@ -349,9 +357,10 @@ class LSHIndex:
         self._verts = verts
 
     def _rebuild(self) -> None:
-        rows = np.arange(self.sketches.num_sets, dtype=np.int64)
-        self._store_sorted(*self._entries_for_rows(rows))
-        self._num_rows = self.sketches.num_sets
+        with self._table_lock:
+            rows = np.arange(self.sketches.num_sets, dtype=np.int64)
+            self._store_sorted(*self._entries_for_rows(rows))
+            self._num_rows = self.sketches.num_sets
 
     # --------------------------------------------------------------- patching
     def apply_delta(self, delta: "GraphDelta") -> int:
@@ -415,16 +424,17 @@ class LSHIndex:
         if not self.banded:
             self._num_rows = num_sets
             return 0
-        rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
-        if num_sets > self._num_rows:
-            grown = np.arange(self._num_rows, num_sets, dtype=np.int64)
-            rows = np.union1d(rows, grown)
-        if rows.size == 0:
-            return 0
-        keep = ~np.isin(self._verts, self.vertex_ids[rows])
-        self._splice_sorted(keep, *self._entries_for_rows(rows))
-        self._num_rows = num_sets
-        return int(rows.size)
+        with self._table_lock:
+            rows = np.unique(np.asarray(rows, dtype=np.int64).ravel())
+            if num_sets > self._num_rows:
+                grown = np.arange(self._num_rows, num_sets, dtype=np.int64)
+                rows = np.union1d(rows, grown)
+            if rows.size == 0:
+                return 0
+            keep = ~np.isin(self._verts, self.vertex_ids[rows])
+            self._splice_sorted(keep, *self._entries_for_rows(rows))
+            self._num_rows = num_sets
+            return int(rows.size)
 
     # ----------------------------------------------------------------- probes
     def probe(self, keys: np.ndarray, valid: np.ndarray) -> list[np.ndarray]:

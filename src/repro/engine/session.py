@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.budget import DEFAULT_LSH_THRESHOLD
 from ..core.estimators import EstimatorKind
+from ..analysis import runtime as _san
 from ..core.probgraph import (
     ProbGraph,
     Representation,
@@ -136,9 +137,16 @@ class PGSession:
         self.shards = int(shards) if shards is not None else None
         self.pool = pool
         self.stats = SessionStats()
-        self._cache: OrderedDict[tuple, ProbGraph] = OrderedDict()
-        self._lsh_cache: OrderedDict[tuple, "LSHIndex"] = OrderedDict()
-        self._lock = threading.RLock()
+        # Under reprosan the lock is instrumented (lock-order graph) and the
+        # caches are write-epoch guarded; in production both are the plain
+        # threading/OrderedDict objects.
+        self._lock = _san.make_rlock("PGSession")
+        self._cache: OrderedDict[tuple, ProbGraph] = _san.guard_mapping(
+            OrderedDict(), self._lock, "PGSession._cache"
+        )
+        self._lsh_cache: OrderedDict[tuple, "LSHIndex"] = _san.guard_mapping(
+            OrderedDict(), self._lock, "PGSession._lsh_cache"
+        )
 
     # ------------------------------------------------------------ construction
     def probgraph(
@@ -333,7 +341,7 @@ class PGSession:
             # A patched entry can land on the key of an entry already built for the
             # new graph (bit-identical sketches); the displaced one counts as evicted.
             self.stats.evictions += len(self._cache) - len(remapped)
-            self._cache = remapped
+            self._cache = _san.guard_mapping(remapped, self._lock, "PGSession._cache")
             self.stats.delta_patches += patched
             # LSH indexes ride along: their sketch sets were just patched above,
             # so re-keying the touched rows' bucket entries keeps each index
@@ -354,7 +362,9 @@ class PGSession:
             # the new graph) count as evictions, like the sketch cache above.
             self.stats.evictions += len(self._lsh_cache) - invalidated - len(lsh_remapped)
             self.stats.lsh_invalidations += invalidated
-            self._lsh_cache = lsh_remapped
+            self._lsh_cache = _san.guard_mapping(
+                lsh_remapped, self._lock, "PGSession._lsh_cache"
+            )
             return patched
 
     def cached(self, pg: ProbGraph) -> bool:

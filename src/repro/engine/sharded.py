@@ -44,7 +44,6 @@ Three contracts make this safe to use everywhere the single-process engine is:
 
 from __future__ import annotations
 
-import threading
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -56,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 import numpy as np
 
+from ..analysis import runtime as _san
 from ..core.estimators import EstimatorKind, intersection_to_jaccard
 from ..core.probgraph import (
     ProbGraph,
@@ -225,7 +225,13 @@ def _build_shard_sketches(spec: tuple) -> NeighborhoodSketches:
         return family.sketch_neighborhoods(local_indptr, local_indices)
     _, indptr_name, indptr_len, indices_name, indices_len, owned = payload
     shm_indptr = _attach_shared_memory(indptr_name)
-    shm_indices = _attach_shared_memory(indices_name)
+    try:
+        shm_indices = _attach_shared_memory(indices_name)
+    except BaseException:
+        # A failed second attach (segment vanished, fd limit) must not leak
+        # the first segment's mapping for the worker's lifetime.
+        shm_indptr.close()
+        raise
     try:
         indptr = np.ndarray((indptr_len,), dtype=np.int64, buffer=shm_indptr.buf)
         indices = np.ndarray((indices_len,), dtype=np.int64, buffer=shm_indices.buf)
@@ -326,7 +332,13 @@ class ShardedEngine:
         )
         self.family = self.params.make_family(self.seed)
         self.comm = ShardCommStats()
-        self._comm_lock = threading.Lock()
+        # Instrumented under reprosan: the comm lock guards the stats
+        # counters, the patch lock serializes the structural mutators
+        # (apply_delta / repartition) whose row-array scatters are
+        # write-epoch stamped against it.
+        self._comm_lock = _san.make_rlock("ShardedEngine.comm")
+        self._patch_lock = _san.make_rlock("ShardedEngine.patch")
+        self._closed = False
         self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
         self._lsh_indexes: "weakref.WeakSet[ShardedLSHIndex]" = weakref.WeakSet()
         self._last_patch: tuple[str, np.ndarray] | None = None
@@ -347,24 +359,28 @@ class ShardedEngine:
                 )
                 specs.append((self.params, self.seed, ("arrays", local_indptr, local_indices)))
             return specs, None
-        from multiprocessing import shared_memory
-
         indptr = np.ascontiguousarray(base.indptr, dtype=np.int64)
         indices = np.ascontiguousarray(base.indices, dtype=np.int64)
-        shm_indptr = shared_memory.SharedMemory(create=True, size=max(indptr.nbytes, 1))
+        # Segments go through the sanitizer's tracked allocator: under
+        # reprosan each carries its allocation site and must be released by
+        # engine close/build teardown; in production this is a plain
+        # SharedMemory(create=True).
+        shm_indptr = _san.create_segment(
+            indptr.nbytes, owner=self, purpose="CSR indptr transport"
+        )
         try:
-            shm_indices = shared_memory.SharedMemory(create=True, size=max(indices.nbytes, 1))
+            shm_indices = _san.create_segment(
+                indices.nbytes, owner=self, purpose="CSR indices transport"
+            )
         except BaseException:
-            shm_indptr.close()
-            shm_indptr.unlink()
+            _san.release_segment(shm_indptr)
             raise
         try:
             np.ndarray(indptr.shape, dtype=np.int64, buffer=shm_indptr.buf)[:] = indptr
             np.ndarray(indices.shape, dtype=np.int64, buffer=shm_indices.buf)[:] = indices
         except BaseException:
             for shm in (shm_indptr, shm_indices):
-                shm.close()
-                shm.unlink()
+                _san.release_segment(shm)
             raise
         specs = [
             (
@@ -411,8 +427,36 @@ class ShardedEngine:
         finally:
             if handles is not None:
                 for shm in handles:
-                    shm.close()
-                    shm.unlink()
+                    _san.release_segment(shm)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the engine: the well-defined end of its resource lifetime.
+
+        Idempotent.  Shared-memory transport segments are already released by
+        the build's ``finally`` teardown; ``close()`` is where the reprosan
+        lifecycle tracker audits that nothing owned by this engine is still
+        live (a segment leaked by an error path becomes a ``SAN601`` finding
+        here, with its allocation site).  After close, query and patch entry
+        points raise :class:`RuntimeError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _san.check_owner_segments(self)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this ShardedEngine is closed; build a new engine (or query "
+                "before leaving the `with` block)"
+            )
 
     # ------------------------------------------------------------- properties
     @property
@@ -532,6 +576,7 @@ class ShardedEngine:
         bump nothing, and a structurally identical graph re-syncs the version
         instead of raising).
         """
+        self._ensure_open()
         source = self._source
         if source is None or source.version == self._source_version:
             return
@@ -578,6 +623,11 @@ class ShardedEngine:
         pass explicit ``num_bits``/``k``/``precision`` when bit-identity with
         later rebuilds matters.
         """
+        self._ensure_open()
+        with self._patch_lock:
+            return self._apply_delta_locked(delta)
+
+    def _apply_delta_locked(self, delta: GraphDelta) -> int:
         if delta.old_fingerprint != self.graph.fingerprint():
             raise ValueError(
                 "delta does not start at this engine's graph (expected "
@@ -631,6 +681,7 @@ class ShardedEngine:
         """Apply the pure-insertion sub-delta of each owning shard in place."""
         if ins_vertices.size == 0:
             return
+        _san.stamp_write(self._patch_lock, "ShardedEngine._row_arrays")
         counts = np.diff(ins_indptr)
         owners = self.partition.owners[ins_vertices]
         for s in np.unique(owners):
@@ -659,6 +710,7 @@ class ShardedEngine:
         rows = np.asarray(rows, dtype=np.int64)
         if rows.size == 0:
             return
+        _san.stamp_write(self._patch_lock, "ShardedEngine._row_arrays")
         owners = self.partition.owners[rows]
         for s in np.unique(owners):
             vs = rows[owners == s]
@@ -696,23 +748,25 @@ class ShardedEngine:
         counters and returns the fresh stats.
         """
         self._check_fresh()
-        merged = concat_sketch_rows(self._shards)
-        order = np.concatenate(self.partition.shard_vertices)
-        inverse = np.empty(self.graph.num_vertices, dtype=np.int64)
-        inverse[order] = np.arange(self.graph.num_vertices, dtype=np.int64)
-        self.partition = partition_graph(
-            self.graph, self.num_shards, method=method,
-            seed=self.seed if seed is None else int(seed),
-        )
-        self._shards = [
-            merged.take_rows(inverse[self.partition.shard_vertices[s]])
-            for s in range(self.num_shards)
-        ]
-        self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
-        self._last_patch = None
-        for index in list(self._lsh_indexes):
-            index._rebuild_from_engine()
-        return self.skew_stats()
+        with self._patch_lock:
+            merged = concat_sketch_rows(self._shards)
+            order = np.concatenate(self.partition.shard_vertices)
+            inverse = np.empty(self.graph.num_vertices, dtype=np.int64)
+            inverse[order] = np.arange(self.graph.num_vertices, dtype=np.int64)
+            self.partition = partition_graph(
+                self.graph, self.num_shards, method=method,
+                seed=self.seed if seed is None else int(seed),
+            )
+            _san.stamp_write(self._patch_lock, "ShardedEngine._row_arrays")
+            self._shards = [
+                merged.take_rows(inverse[self.partition.shard_vertices[s]])
+                for s in range(self.num_shards)
+            ]
+            self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
+            self._last_patch = None
+            for index in list(self._lsh_indexes):
+                index._rebuild_from_engine()
+            return self.skew_stats()
 
     # ----------------------------------------------------------------- queries
     def pair_intersections(

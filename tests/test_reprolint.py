@@ -16,7 +16,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.analysis import lint_paths, lint_source
+from repro.analysis import PROFILES, lint_paths, lint_source
 from repro.analysis.lint import main
 from repro.sketches import (
     SKETCH_CONTAINER_TYPES,
@@ -190,6 +190,69 @@ class TestDtype:
 
 
 # ---------------------------------------------------------------------------
+# dtype widening dataflow (REPRO305)
+# ---------------------------------------------------------------------------
+class TestDtypeWidening:
+    def test_rebind_from_arithmetic_fires(self):
+        bad = """
+            import numpy as np
+
+            def normalize(n, total):
+                counts = np.zeros(n, dtype=np.float32)
+                counts = counts / total
+                return counts
+        """
+        assert codes(bad, kernel=True) == ["REPRO305"]
+
+    def test_inplace_op_is_quiet(self):
+        good = """
+            import numpy as np
+
+            def normalize(n, total):
+                counts = np.zeros(n, dtype=np.float32)
+                counts /= total
+                return counts
+        """
+        assert codes(good, kernel=True) == []
+
+    def test_astype_repin_is_quiet(self):
+        good = """
+            import numpy as np
+
+            def normalize(n, total):
+                counts = np.zeros(n, dtype=np.float32)
+                counts = (counts / total).astype(np.float32)
+                return counts
+        """
+        assert codes(good, kernel=True) == []
+
+    def test_unrelated_rebind_clears_pin(self):
+        # Rebinding to something else drops the pin: arithmetic on the *new*
+        # value is no longer the allocator's concern.
+        ok = """
+            import numpy as np
+
+            def mix(n, other, total):
+                counts = np.zeros(n, dtype=np.float32)
+                counts = other
+                counts = counts / total
+                return counts
+        """
+        assert codes(ok, kernel=True) == []
+
+    def test_non_kernel_module_is_exempt(self):
+        bad = """
+            import numpy as np
+
+            def normalize(n, total):
+                counts = np.zeros(n, dtype=np.float32)
+                counts = counts / total
+                return counts
+        """
+        assert codes(bad, kernel=False) == []
+
+
+# ---------------------------------------------------------------------------
 # lock discipline (REPRO401)
 # ---------------------------------------------------------------------------
 _LOCKED_SESSION = """
@@ -302,6 +365,150 @@ class TestPicklability:
 
 
 # ---------------------------------------------------------------------------
+# pool payload hygiene (REPRO502)
+# ---------------------------------------------------------------------------
+class TestPoolPayloads:
+    def test_bound_method_submit_fires(self):
+        bad = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Engine:
+                def run(self, xs):
+                    with ProcessPoolExecutor() as pool:
+                        return pool.submit(self.work, xs).result()
+        """
+        assert codes(bad) == ["REPRO502"]
+
+    def test_self_as_payload_fires(self):
+        bad = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(engine):
+                return engine
+
+            class Engine:
+                def run(self):
+                    with ProcessPoolExecutor() as pool:
+                        return pool.submit(work, self).result()
+        """
+        assert codes(bad) == ["REPRO502"]
+
+    def test_lock_named_payload_fires(self):
+        bad = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(shm):
+                return shm
+
+            def run(shm_handle):
+                with ProcessPoolExecutor() as pool:
+                    return pool.submit(work, shm_handle).result()
+        """
+        assert codes(bad) == ["REPRO502"]
+
+    def test_segment_name_payload_is_quiet(self):
+        # Shipping the segment's *name* (a str) and re-attaching in the worker
+        # is the sanctioned transport — exactly what the sharded engine does.
+        good = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(segment_name):
+                return segment_name
+
+            def run(shm):
+                with ProcessPoolExecutor() as pool:
+                    return pool.submit(work, shm.name).result()
+        """
+        assert codes(good) == []
+
+    def test_module_without_process_pool_is_exempt(self):
+        ok = """
+            class Engine:
+                def run(self, pool, xs):
+                    return pool.submit(self.work, xs).result()
+        """
+        assert codes(ok) == []
+
+
+# ---------------------------------------------------------------------------
+# resource lifecycle (REPRO601)
+# ---------------------------------------------------------------------------
+class TestResourceLifecycle:
+    def test_init_acquisition_without_release_method_fires(self):
+        bad = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Holder:
+                def __init__(self, name):
+                    self._shm = SharedMemory(name=name)
+        """
+        assert codes(bad) == ["REPRO601"]
+
+    def test_init_acquisition_with_close_is_quiet(self):
+        good = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Holder:
+                def __init__(self, name):
+                    self._shm = SharedMemory(name=name)
+
+                def close(self):
+                    self._shm.close()
+        """
+        assert codes(good) == []
+
+    def test_straight_line_local_close_fires(self):
+        # A close() on the happy path only: any exception between attach and
+        # close leaks the OS object — the sharded worker's attach-leak bug.
+        bad = """
+            from multiprocessing.shared_memory import SharedMemory
+            import numpy as np
+
+            def read(name, n):
+                shm = SharedMemory(name=name)
+                out = np.frombuffer(shm.buf, dtype=np.int64, count=n).copy()
+                shm.close()
+                return out
+        """
+        assert "REPRO601" in codes(bad)
+
+    def test_finally_release_is_quiet(self):
+        good = """
+            from multiprocessing.shared_memory import SharedMemory
+            import numpy as np
+
+            def read(name, n):
+                shm = SharedMemory(name=name)
+                try:
+                    return np.frombuffer(shm.buf, dtype=np.int64, count=n).copy()
+                finally:
+                    shm.close()
+        """
+        assert codes(good) == []
+
+    def test_escape_to_caller_is_quiet(self):
+        # Returning the handle transfers ownership to the caller.
+        good = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                return shm
+        """
+        assert codes(good) == []
+
+    def test_pool_executor_counts_as_acquisition(self):
+        bad = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Engine:
+                def __init__(self):
+                    self._pool = ProcessPoolExecutor()
+        """
+        assert codes(bad) == ["REPRO601"]
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 class TestSuppressions:
@@ -316,7 +523,9 @@ class TestSuppressions:
         assert codes(src, kernel=True) == []
 
     def test_bare_suppression_is_itself_a_finding(self):
-        src = self.BAD_LINE + "  # reprolint: allow[determinism]\n"
+        # The marker is split so linting *this* file's raw source (the
+        # scripts-profile self-run) does not see a bare suppression here.
+        src = self.BAD_LINE + "  # repro" + "lint: allow[determinism]\n"
         found = codes(src, kernel=True)
         assert "REPRO001" in found  # missing justification
         assert "REPRO103" in found  # and the original finding stays live
@@ -324,6 +533,63 @@ class TestSuppressions:
     def test_wrong_category_does_not_silence(self):
         src = self.BAD_LINE + "  # reprolint: allow[dtype] -- wrong category\n"
         assert codes(src, kernel=True) == ["REPRO103"]
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+class TestProfiles:
+    # Fires determinism (REPRO102) *and* lifecycle (REPRO601) in one module.
+    MIXED = """
+        import random
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Holder:
+            def __init__(self, name):
+                self._shm = SharedMemory(name=name)
+
+            def pick(self, xs):
+                return random.choice(xs)
+    """
+
+    def test_scripts_profile_keeps_only_its_categories(self):
+        full = codes(self.MIXED, kernel=True)
+        assert set(full) == {"REPRO102", "REPRO601"}
+        scoped = codes(self.MIXED, kernel=True, categories=PROFILES["scripts"])
+        assert scoped == ["REPRO601"]
+
+    def test_src_profile_is_unfiltered(self):
+        assert PROFILES["src"] is None
+
+    def test_scripts_profile_checks_suppression_hygiene(self):
+        # A bare allow[] must stay a finding under the scripts profile, even
+        # though the finding it fails to justify is filtered out.
+        src = (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "import random\n"
+            "x = random.random()  # repro" + "lint: allow[determinism]\n"
+        )
+        scoped = codes(src, kernel=True, categories=PROFILES["scripts"])
+        assert scoped == ["REPRO001"]
+
+    def test_cli_profile_flag(self, tmp_path, capsys):
+        bad = tmp_path / "bench.py"
+        bad.write_text("import random\nx = random.random()\n")
+        # Determinism findings are out of scope for scripts...
+        assert main(["--profile=scripts", str(bad)]) == 0
+        # ...but lifecycle findings are not.
+        leak = tmp_path / "leak.py"
+        leak.write_text(textwrap.dedent(self.MIXED))
+        assert main(["--profile=scripts", str(leak)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO601" in out
+        assert "REPRO102" not in out
+
+    def test_scripts_tree_has_zero_findings(self):
+        repo = SRC.parent
+        targets = [repo / "benchmarks", repo / "examples", repo / "tests"]
+        findings = lint_paths(targets, categories=PROFILES["scripts"])
+        assert findings == [], "\n".join(f.render() for f in findings)
 
 
 # ---------------------------------------------------------------------------
