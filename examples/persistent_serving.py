@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Persistent serving: build once, save, and cold-start from mmap in milliseconds.
+
+The storage seam end to end: a session builds a sketch set once and persists
+it into a keyed :class:`~repro.storage.SketchStore`; every later session (a
+restarted server, another process) answers the same cache key with a
+zero-copy ``np.memmap`` load instead of an O(b·m) rebuild — bit-identical for
+every query.  The sharded engine does the same at directory granularity
+(``engine.save(dir)`` / ``ShardedEngine.open(dir)``), and a saved LSH index is
+probe-ready one ``open()`` away.  Mutation still works: the first delta patch
+promotes the touched mmap rows to writable copies, lazily.
+
+Run with:  python examples/persistent_serving.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro import PGSession, ShardedEngine
+from repro.engine import LSHIndex
+from repro.graph import kronecker_graph
+
+
+def main() -> None:
+    graph = kronecker_graph(scale=12, edge_factor=10, seed=1)
+    print(f"graph: n={graph.num_vertices:,}, m={graph.num_edges:,}")
+
+    store_dir = tempfile.mkdtemp(prefix="pgstore_")
+    rng = np.random.default_rng(5)
+    u = rng.integers(0, graph.num_vertices, 20_000).astype(np.int64)
+    v = rng.integers(0, graph.num_vertices, 20_000).astype(np.int64)
+
+    # --- build once, persist into the keyed store ---------------------------
+    first = PGSession(store=store_dir)
+    pg = first.probgraph(graph, representation="bloom", seed=7)
+    baseline = first.pair_intersections(pg, u, v)
+    print(
+        f"\nfirst session: built in {pg.construction_seconds * 1e3:.0f} ms, "
+        f"saved to the store ({first.stats.store_saves} entry)"
+    )
+
+    # --- a restarted server: same key, zero-copy load, zero rebuilds --------
+    start = time.perf_counter()
+    second = PGSession(store=store_dir)
+    pg2 = second.probgraph(graph, representation="bloom", seed=7)
+    loaded = second.pair_intersections(pg2, u, v)
+    print(
+        f"second session: store hit in {(time.perf_counter() - start) * 1e3:.1f} ms "
+        f"(constructions={second.stats.constructions}, "
+        f"mmap rows writable={pg2.sketches.words.flags.writeable}), "
+        f"20k queries bit-identical={bool(np.array_equal(baseline, loaded))}"
+    )
+
+    # --- sharded cold start from a saved engine directory -------------------
+    engine_dir = tempfile.mkdtemp(prefix="pgengine_")
+    with ShardedEngine(graph, 4, representation="bloom", seed=7) as engine:
+        build_s = engine.construction_seconds
+        engine.save(engine_dir)
+        sharded_ref = engine.pair_intersections(u, v)
+    with ShardedEngine.open(engine_dir) as reopened:
+        print(
+            f"\nsharded engine: fresh 4-shard build {build_s * 1e3:.0f} ms, "
+            f"cold start from {engine_dir} in "
+            f"{reopened.construction_seconds * 1e3:.1f} ms, routed queries "
+            f"bit-identical="
+            f"{bool(np.array_equal(sharded_ref, reopened.pair_intersections(u, v)))}"
+        )
+
+    # --- a probe-ready LSH index, one open() away ---------------------------
+    khash = second.probgraph(graph, representation="khash", seed=7, k=64)
+    index = LSHIndex(khash, num_bands=16, rows_per_band=4)
+    table_path = engine_dir + "/tables.pgsk"
+    index.save(table_path)
+    sources = np.argsort(graph.degrees)[-64:].astype(np.int64)
+    with LSHIndex.open(table_path, khash) as probe_ready:
+        a = index.topk_similar_batch(sources, k=5)
+        b = probe_ready.topk_similar_batch(sources, k=5)
+        print(
+            f"\nLSH index: {index.num_entries:,} bucket entries saved; reopened "
+            f"tables serve top-5 for {len(sources)} probes bit-identical="
+            f"{bool(np.array_equal(a.indices, b.indices) and np.array_equal(a.scores, b.scores))}"
+        )
+
+    # --- deltas still apply: mmap rows promote on first patch ---------------
+    from repro.dynamic import DynamicGraph
+
+    dyn = DynamicGraph(graph)
+    delta = dyn.apply_edges(insertions=rng.integers(0, graph.num_vertices, (64, 2)))
+    second.apply_delta(delta)
+    fresh = PGSession().probgraph(dyn.snapshot(), representation="bloom", seed=7)
+    print(
+        f"\nafter a 64-edge delta: store-loaded rows promoted "
+        f"(writable={pg2.sketches.words.flags.writeable}), patched sketches "
+        f"bit-identical to a fresh build="
+        f"{bool(np.array_equal(pg2.sketches.words, fresh.sketches.words))}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,9 +8,10 @@ that at least one past regression has violated:
   seeding silently broke cross-process reproducibility once (the
   ``graph/datasets.py`` stand-in generator bug); global-RNG calls and
   wall-clock values are the same failure mode waiting to happen.
-* **family-contract** (``REPRO201``–``REPRO204``): any container declaring
-  ``_row_arrays`` opts into the row scatter-gather machinery of the sharded
-  engine; it must also declare ``_param_attrs`` and implement the incremental
+* **family-contract** (``REPRO201``–``REPRO204``): any container declaring a
+  ``storage_schema`` (or the legacy ``_row_arrays`` tuple) opts into the row
+  scatter-gather machinery of the sharded engine and the on-disk sketch
+  store; it must also declare the family params and implement the incremental
   maintenance methods with the reference signatures of
   :class:`repro.sketches.base.NeighborhoodSketches`, or shard routing and
   delta patching break at runtime on that family only.
@@ -28,10 +29,11 @@ that at least one past regression has violated:
   them must not drag locks, SharedMemory handles, or whole ``self`` objects
   across the process boundary.
 * **lifecycle** (``REPRO601``): OS-backed resources (SharedMemory segments,
-  pools, file handles) acquired outside a ``with`` must have a reachable
-  release — a ``close``/``__exit__`` method for instance attributes, a
-  ``finally`` block (or an escape to the caller) for locals — the static half
-  of the ``reprosan`` SharedMemory lifecycle tracker.
+  pools, file handles, ``np.memmap`` mappings) acquired outside a ``with``
+  must have a reachable release — a ``close``/``__exit__`` method for
+  instance attributes, a ``finally`` block (or an escape to the caller) for
+  locals — the static half of the ``reprosan`` SharedMemory/mmap lifecycle
+  tracker.
 
 Rules operate on the AST plus a light import-alias resolution; they are
 deliberately syntactic (no type inference) so the whole pass stays fast and
@@ -54,7 +56,7 @@ __all__ = [
 
 #: Sub-packages of ``repro`` whose modules are "kernel" code: they build or
 #: mutate sketch state, so the determinism and dtype rules apply there.
-KERNEL_PACKAGES = ("sketches", "core", "engine", "dynamic")
+KERNEL_PACKAGES = ("sketches", "core", "engine", "dynamic", "storage")
 
 #: Finding code → rule category (the name usable in ``reprolint: allow[...]``).
 RULE_CATEGORIES = {
@@ -260,6 +262,52 @@ def _class_attr_tuple(cls: ast.ClassDef, name: str) -> tuple[str, ...] | None:
     return None
 
 
+def _schema_declaration(cls: ast.ClassDef) -> tuple[tuple[str, ...], tuple[str, ...] | None] | None:
+    """Parse a class-level ``storage_schema = StorageSchema(...)`` declaration.
+
+    Returns ``(row_array_names, param_names)``; ``param_names`` is ``None``
+    when the declaration carries no statically-readable ``params=(...)``
+    tuple.  Returns ``None`` when the class declares no schema (or assigns
+    something that is not a literal ``StorageSchema(...)`` call — a computed
+    schema opts out of static checking, like a computed ``_row_arrays`` did).
+    """
+    for stmt in cls.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == "storage_schema"):
+            continue
+        if not isinstance(value, ast.Call):
+            return None
+        callee = _terminal_name(value.func)
+        if callee is None or not callee.endswith("StorageSchema"):
+            return None
+        arrays: list[str] = []
+        params: tuple[str, ...] | None = None
+        for kw in value.keywords:
+            if kw.arg == "arrays" and isinstance(kw.value, ast.Tuple):
+                for elt in kw.value.elts:
+                    if not isinstance(elt, ast.Call):
+                        continue
+                    name_arg: ast.expr | None = elt.args[0] if elt.args else None
+                    for elt_kw in elt.keywords:
+                        if elt_kw.arg == "name":
+                            name_arg = elt_kw.value
+                    if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                        arrays.append(name_arg.value)
+            elif kw.arg == "params":
+                if isinstance(kw.value, ast.Tuple) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in kw.value.elts
+                ):
+                    params = tuple(e.value for e in kw.value.elts)  # type: ignore[misc]
+        return tuple(arrays), params
+    return None
+
+
 def _self_assigned_attrs(cls: ast.ClassDef) -> set[str]:
     """Names ``X`` with a ``self.X = ...`` assignment anywhere in the class body."""
     names: set[str] = set()
@@ -280,20 +328,40 @@ def _self_assigned_attrs(cls: ast.ClassDef) -> set[str]:
 
 
 def check_family_contract(ctx: ModuleContext) -> list[Finding]:
-    """Classes declaring ``_row_arrays`` must satisfy the full container contract."""
+    """Classes declaring row arrays must satisfy the full container contract.
+
+    Two declaration forms opt a class in: the explicit storage schema
+    (``storage_schema = StorageSchema(arrays=..., params=...)``) and the
+    legacy literal tuples (``_row_arrays`` / ``_param_attrs``) that predate
+    it.  Either way, the declared arrays feed take_rows/concat/shard routing
+    and persistence, so the maintenance methods and compatibility params are
+    mandatory.
+    """
     findings: list[Finding] = []
     for cls in ast.walk(ctx.tree):
         if not isinstance(cls, ast.ClassDef):
             continue
-        row_arrays = _class_attr_tuple(cls, "_row_arrays")
-        if not row_arrays:  # absent or explicitly empty: not a row container
+        schema = _schema_declaration(cls)
+        if schema is not None:
+            row_arrays, schema_params = schema
+            has_params = bool(schema_params)
+            declaration = "storage_schema"
+        else:
+            legacy = _class_attr_tuple(cls, "_row_arrays")
+            if legacy is None:
+                continue
+            row_arrays = legacy
+            has_params = _class_attr_tuple(cls, "_param_attrs") is not None
+            declaration = "_row_arrays"
+        if not row_arrays:  # explicitly empty: not a row container
             continue
-        if _class_attr_tuple(cls, "_param_attrs") is None:
+        if not has_params:
             findings.append(
                 Finding(
                     ctx.path, cls.lineno, cls.col_offset, "REPRO201",
-                    f"{cls.name} declares _row_arrays but not _param_attrs; rows cannot "
-                    "be routed between shards without a family compatibility key",
+                    f"{cls.name} declares {declaration} row arrays but no family "
+                    "params; rows cannot be routed between shards without a family "
+                    "compatibility key",
                 )
             )
         methods = {
@@ -304,7 +372,7 @@ def check_family_contract(ctx: ModuleContext) -> list[Finding]:
                 findings.append(
                     Finding(
                         ctx.path, cls.lineno, cls.col_offset, "REPRO202",
-                        f"{cls.name} declares _row_arrays but does not implement {name}"
+                        f"{cls.name} declares {declaration} but does not implement {name}"
                         f"({', '.join(ref_params)}); incremental maintenance and shard "
                         "routing require it",
                     )
@@ -331,7 +399,7 @@ def check_family_contract(ctx: ModuleContext) -> list[Finding]:
                 findings.append(
                     Finding(
                         ctx.path, cls.lineno, cls.col_offset, "REPRO204",
-                        f"{cls.name}._row_arrays names {arr!r} but no method assigns "
+                        f"{cls.name} {declaration} names {arr!r} but no method assigns "
                         f"self.{arr}; take_rows/concat would scatter a missing array",
                     )
                 )
@@ -744,6 +812,7 @@ _ACQUISITION_CALLS = frozenset(
         "multiprocessing.shared_memory.SharedMemory",
         "concurrent.futures.ProcessPoolExecutor",
         "concurrent.futures.ThreadPoolExecutor",
+        "numpy.memmap",
     }
 )
 

@@ -60,10 +60,12 @@ __all__ = [
     "findings",
     "guard_mapping",
     "make_rlock",
+    "release_mmap",
     "release_segment",
     "report",
     "reset",
     "stamp_write",
+    "track_mmap",
     "track_segment",
     "write_epoch",
 ]
@@ -111,6 +113,14 @@ class _SegmentRecord:
     owner_id: int | None
     purpose: str
     released: bool = False
+    #: Resource flavor: ``"shm"`` for SharedMemory segments, ``"mmap"`` for
+    #: store-opened memory mappings.  Both share one ledger so owner audits
+    #: (``ShardedEngine.close()``) and region-exit sweeps cover them together.
+    kind: str = "shm"
+
+    @property
+    def noun(self) -> str:
+        return "shared-memory segment" if self.kind == "shm" else "mmap-backed store handle"
 
 
 class _ThreadState(threading.local):
@@ -518,15 +528,15 @@ def _finalize_segment(name: str) -> None:
         _STATE.findings.append(
             SanFinding(
                 "SAN601",
-                f"shared-memory segment {name!r} ({record.purpose}) was "
-                "garbage-collected without unlink(); the OS object leaks "
-                f"until process exit (allocated at {record.site})",
+                f"{record.noun} {name!r} ({record.purpose}) was "
+                "garbage-collected without being released; the OS object leaks "
+                f"until process exit (acquired at {record.site})",
                 record.site,
             )
         )
     # Never raise inside a GC callback, whatever the mode.
     warnings.warn(
-        f"reprosan: leaked shared-memory segment {name!r} (allocated at {record.site})",
+        f"reprosan: leaked {record.noun} {name!r} (acquired at {record.site})",
         RuntimeWarning,
     )
 
@@ -632,10 +642,73 @@ def check_owner_segments(owner: Any) -> list[SanFinding]:
     for record in leaked:
         finding = report(
             "SAN601",
-            f"shared-memory segment {record.name!r} ({record.purpose}) was "
-            f"never released; allocated at {record.site}",
+            f"{record.noun} {record.name!r} ({record.purpose}) was "
+            f"never released; acquired at {record.site}",
             site=record.site,
         )
         if finding is not None:
             out.append(finding)
     return out
+
+
+# ---------------------------------------------------------------------------
+# mmap lifecycle ledger (same SAN601/SAN602 audit, ``kind="mmap"`` records)
+# ---------------------------------------------------------------------------
+def track_mmap(
+    handle: Any,
+    path: str,
+    owner: Any = None,
+    purpose: str = "",
+    site: str | None = None,
+) -> str:
+    """Register a store-opened mmap handle; returns its ledger token.
+
+    The token names the record in the shared segment/mmap ledger, so a leaked
+    handle is attributed to the ``open()`` call-site that acquired it by the
+    same audits that cover SharedMemory: :func:`check_owner_segments` on the
+    owner's ``close()`` and the region-exit sweep.  A GC'd but never-closed
+    handle warns via ``weakref.finalize`` exactly like a leaked segment.
+    No-op (empty token) when the sanitizer is inactive.
+    """
+    if not active():
+        return ""
+    if site is None:
+        site = call_site(1)
+    token = f"{path}#{id(handle):x}"
+    record = _SegmentRecord(
+        name=token,
+        site=site,
+        owner_id=id(owner) if owner is not None else None,
+        purpose=purpose or "sketch-store mmap",
+        kind="mmap",
+    )
+    with _STATE.mutex:
+        _STATE.segments[token] = record
+    weakref.finalize(handle, _finalize_segment, token)
+    return token
+
+
+def release_mmap(token: str) -> None:
+    """Mark a tracked mmap handle released (the munmap itself happens when the
+    last array view is garbage-collected).
+
+    Releasing the same token twice is the double-close bug class: reports
+    ``SAN602`` with the original acquisition site.  An empty token (handle
+    opened while the sanitizer was inactive) is ignored.
+    """
+    if not token:
+        return
+    with _STATE.mutex:
+        record = _STATE.segments.get(token)
+    if record is None:
+        return
+    if record.released:
+        report(
+            "SAN602",
+            f"{record.noun} {token!r} ({record.purpose}) released twice "
+            f"(acquired at {record.site})",
+            site=call_site(1),
+        )
+        return
+    with _STATE.mutex:
+        record.released = True

@@ -40,6 +40,8 @@ session-cached indexes.
 
 from __future__ import annotations
 
+import os
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -54,6 +56,7 @@ from ..sketches.base import NeighborhoodSketches
 from ..sketches.hashing import splitmix64
 from ..sketches.kmv import KMVNeighborhoodSketches
 from ..sketches.minhash import BottomKNeighborhoodSketches, KHashNeighborhoodSketches
+from ..storage import StoreFormatError, StoreHandle, open_blocks, write_blocks
 from .batch import EngineConfig, record_query, record_topk, resolve_chunk_pairs
 from .topk import TopKResult, _resolve_score_fn, materialized_topk, topk_per_source
 
@@ -200,6 +203,7 @@ class LSHIndex:
             self.sketches = source
         self.threshold = float(threshold)
         self.stats = LSHIndexStats()
+        self._handle: StoreHandle | None = None
         # Bucket tables are rebuilt/spliced under this lock; reads (probe)
         # are lock-free against the immutable sorted arrays.  Under reprosan
         # the lock feeds the lock-order graph and every table write is
@@ -361,6 +365,141 @@ class LSHIndex:
             rows = np.arange(self.sketches.num_sets, dtype=np.int64)
             self._store_sorted(*self._entries_for_rows(rows))
             self._num_rows = self.sketches.num_sets
+
+    # ------------------------------------------------------------- persistence
+    @staticmethod
+    def _signature_crc(sketches: NeighborhoodSketches) -> int:
+        """Checksum binding saved bucket tables to their signature matrix."""
+        sig = signature_matrix(sketches)
+        assert sig is not None
+        return zlib.crc32(memoryview(np.ascontiguousarray(sig[0])).cast("B"))
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Persist the bucket tables as one ``kind="lsh"`` block file.
+
+        Only banded indexes have tables to persist; Bloom/HLL full-scan
+        fallbacks raise :class:`ValueError`.  The header records the band
+        split and a checksum of the source signature matrix, so :meth:`open`
+        refuses to attach the tables to a container they were not built from.
+        """
+        if self.resolution is None:
+            raise ValueError(
+                f"{type(self.sketches).__name__} builds no bucket tables "
+                "(full-scan fallback); there is nothing to persist"
+            )
+        with self._table_lock:
+            write_blocks(
+                path,
+                "lsh",
+                {"keys": self._keys, "verts": self._verts, "vertex_ids": self.vertex_ids},
+                meta={
+                    "family": type(self.sketches).__name__,
+                    "num_rows": int(self._num_rows),
+                    "num_bands": int(self.resolution.num_bands),
+                    "rows_per_band": int(self.resolution.rows_per_band),
+                    "signature_slots": int(self.resolution.signature_slots),
+                    "target_threshold": float(self.resolution.target_threshold),
+                    "signature_crc32": self._signature_crc(self.sketches),
+                },
+            )
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike[str],
+        source: ProbGraph | NeighborhoodSketches,
+        mode: str = "mmap",
+    ) -> "LSHIndex":
+        """Attach saved bucket tables to ``source`` — probe-ready, no rebuild.
+
+        The saved tables must have been built from exactly ``source``'s
+        sketch rows: family, row count, and the signature-matrix checksum are
+        verified against the header (:class:`~repro.storage.StoreFormatError`
+        on mismatch), so a stale or foreign table file cannot silently serve
+        wrong candidates.  In ``"mmap"`` mode the tables are zero-copy views;
+        patches splice into fresh in-memory arrays (tables are rebound, never
+        written in place), so the file stays valid.  The index owns the
+        handle — release it with :meth:`close`.
+        """
+        index = cls.__new__(cls)
+        handle = open_blocks(
+            path, mode=mode, owner=index, purpose="LSH bucket tables",
+            site=_san.call_site(1),
+        )
+        try:
+            if handle.kind != "lsh":
+                raise StoreFormatError(
+                    f"{os.fspath(path)}: kind {handle.kind!r} is not an LSH "
+                    "table entry"
+                )
+            if isinstance(source, ProbGraph):
+                index.pg = source
+                index.sketches = source.sketches
+            else:
+                index.pg = None
+                index.sketches = source
+            family = str(handle.meta.get("family", ""))
+            if family != type(index.sketches).__name__:
+                raise StoreFormatError(
+                    f"{os.fspath(path)}: tables were built over {family}, "
+                    f"source holds {type(index.sketches).__name__}"
+                )
+            num_rows = int(handle.meta["num_rows"])
+            if num_rows != index.sketches.num_sets:
+                raise StoreFormatError(
+                    f"{os.fspath(path)}: tables cover {num_rows} rows, source "
+                    f"has {index.sketches.num_sets}"
+                )
+            sig = signature_matrix(index.sketches)
+            if sig is None:
+                raise StoreFormatError(
+                    f"{os.fspath(path)}: source family stores no signature "
+                    "matrix; saved tables cannot apply"
+                )
+            if cls._signature_crc(index.sketches) != int(handle.meta["signature_crc32"]):
+                raise StoreFormatError(
+                    f"{os.fspath(path)}: signature checksum mismatch — the "
+                    "tables were not built from this container's rows"
+                )
+            resolution = LSHResolution(
+                int(handle.meta["num_bands"]),
+                int(handle.meta["rows_per_band"]),
+                int(handle.meta["signature_slots"]),
+                float(handle.meta["target_threshold"]),
+            )
+            if resolution.slots_used > sig[0].shape[1]:
+                raise StoreFormatError(
+                    f"{os.fspath(path)}: band split uses {resolution.slots_used} "
+                    f"slots, signature has {sig[0].shape[1]}"
+                )
+        except Exception:
+            handle.close()
+            raise
+        index.threshold = resolution.target_threshold
+        index.stats = LSHIndexStats()
+        index._handle = handle
+        index._table_lock = _san.make_rlock("LSHIndex.tables")
+        index.vertex_ids = handle.arrays["vertex_ids"]
+        index.resolution = resolution
+        index._keys = handle.arrays["keys"]
+        index._verts = handle.arrays["verts"]
+        index._num_rows = num_rows
+        return index
+
+    def close(self) -> None:
+        """Release the store handle of an :meth:`open`-attached index.
+
+        Idempotent; a no-op for indexes built in memory.  Closing only ends
+        the ledger lifetime — already-materialized query results stay valid.
+        """
+        if self._handle is not None:
+            self._handle.close()
+
+    def __enter__(self) -> "LSHIndex":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     # --------------------------------------------------------------- patching
     def apply_delta(self, delta: "GraphDelta") -> int:

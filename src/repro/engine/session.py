@@ -48,9 +48,11 @@ from ..core.probgraph import (
 from ..graph.csr import CSRGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import os
     from concurrent.futures import ProcessPoolExecutor
 
     from ..dynamic.graph import GraphDelta
+    from ..storage import SketchStore, StoreHandle
     from .lsh import LSHIndex
 from .batch import (
     EngineConfig,
@@ -73,6 +75,8 @@ class SessionStats:
     cache_misses: int = 0
     evictions: int = 0
     delta_patches: int = 0
+    store_hits: int = 0
+    store_saves: int = 0
     lsh_constructions: int = 0
     lsh_hits: int = 0
     lsh_patches: int = 0
@@ -100,6 +104,19 @@ class PGSession:
         Optional :class:`~concurrent.futures.ProcessPoolExecutor` reused by
         the sharded builds (kept alive by the caller); when ``None`` and
         ``shards`` is set, each build uses a transient pool.
+    store:
+        Optional :class:`~repro.storage.SketchStore` (or a directory path) of
+        persisted sketch sets.  A cache miss whose key has a store entry is
+        answered by *loading* it — zero-copy via ``np.memmap`` under the
+        default ``store_mode="mmap"`` — instead of rebuilding; results are
+        bit-identical either way.  Delta patches on a store-loaded entry
+        promote its mmap rows to writable copies lazily (first patch copies,
+        later patches write in place).  Built entries are persisted back to
+        the store automatically; the mmap handles of loaded entries are
+        closed when their entry leaves the cache.
+    store_mode:
+        ``"mmap"`` (zero-copy views, default) or ``"eager"`` (fresh writable
+        arrays, every block checksum verified at load).
 
     Thread safety: all cache operations (lookup/insert, :meth:`apply_delta`,
     :meth:`clear`) hold an internal :class:`threading.RLock`, so one session
@@ -127,16 +144,31 @@ class PGSession:
         config: EngineConfig | None = None,
         shards: int | None = None,
         pool: "ProcessPoolExecutor | None" = None,
+        store: "SketchStore | str | os.PathLike[str] | None" = None,
+        store_mode: str = "mmap",
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         if shards is not None and shards < 1:
             raise ValueError("shards must be at least 1")
+        if store_mode not in ("mmap", "eager"):
+            raise ValueError(f"store_mode must be 'mmap' or 'eager', got {store_mode!r}")
         self.max_entries = int(max_entries)
         self.config = config or EngineConfig()
         self.shards = int(shards) if shards is not None else None
         self.pool = pool
+        if store is not None and not hasattr(store, "load"):
+            from ..storage import SketchStore as _SketchStore
+
+            store = _SketchStore(store)
+        self.store: "SketchStore | None" = store  # type: ignore[assignment]
+        self.store_mode = store_mode
         self.stats = SessionStats()
+        #: Open mmap handles of store-loaded entries, keyed by id(ProbGraph);
+        #: closed when the entry leaves the cache (eviction, clear, displaced
+        #: re-key).  Closing is ownership accounting only — live array views
+        #: stay valid — so callers holding evicted objects are unaffected.
+        self._handles: dict[int, "StoreHandle"] = {}
         # Under reprosan the lock is instrumented (lock-order graph) and the
         # caches are write-epoch guarded; in production both are the plain
         # threading/OrderedDict objects.
@@ -204,6 +236,30 @@ class PGSession:
                     return view
                 return cached
             self.stats.cache_misses += 1
+            if self.store is not None:
+                loaded = self.store.load(
+                    graph,
+                    params,
+                    oriented=oriented,
+                    seed=seed,
+                    estimator=estimator,
+                    storage_budget=storage_budget,
+                    mode=self.store_mode,
+                    owner=self,
+                )
+                if loaded is not None:
+                    pg, handle = loaded
+                    if handle.mode == "mmap":
+                        self._handles[id(pg)] = handle
+                    else:  # eager loads own their memory; nothing to release
+                        handle.close()
+                    self.stats.store_hits += 1
+                    self._cache[key] = pg
+                    while len(self._cache) > self.max_entries:
+                        _, evicted = self._cache.popitem(last=False)
+                        self._release_handle(evicted)
+                        self.stats.evictions += 1
+                    return pg
             if self.shards is not None and self.shards > 1:
                 from .sharded import build_probgraph_sharded
 
@@ -235,11 +291,39 @@ class PGSession:
                     estimator=estimator,
                 )
             self.stats.constructions += 1
+            if self.store is not None:
+                self.store.put(pg)
+                self.stats.store_saves += 1
             self._cache[key] = pg
             while len(self._cache) > self.max_entries:
-                self._cache.popitem(last=False)
+                _, evicted = self._cache.popitem(last=False)
+                self._release_handle(evicted)
                 self.stats.evictions += 1
             return pg
+
+    def persist(self, pg: ProbGraph) -> str:
+        """Persist ``pg``'s sketch set to this session's store; returns the path."""
+        if self.store is None:
+            raise ValueError("this session has no sketch store attached")
+        path = self.store.put(pg)
+        with self._lock:
+            self.stats.store_saves += 1
+        return path
+
+    def _release_handle(self, pg: ProbGraph) -> None:
+        """Close the store handle of an entry leaving the cache (if it has one)."""
+        with self._lock:  # reentrant: callers already hold it
+            handle = self._handles.pop(id(pg), None)
+        if handle is not None:
+            handle.close()
+
+    def _sweep_handles(self) -> None:
+        """Close handles whose entries are no longer cached (bulk re-key paths)."""
+        with self._lock:  # reentrant: callers already hold it
+            live = {id(pg) for pg in self._cache.values()}
+            stale = [self._handles.pop(i) for i in list(self._handles) if i not in live]
+        for handle in stale:
+            handle.close()
 
     def lsh_index(
         self,
@@ -342,6 +426,7 @@ class PGSession:
             # new graph (bit-identical sketches); the displaced one counts as evicted.
             self.stats.evictions += len(self._cache) - len(remapped)
             self._cache = _san.guard_mapping(remapped, self._lock, "PGSession._cache")
+            self._sweep_handles()
             self.stats.delta_patches += patched
             # LSH indexes ride along: their sketch sets were just patched above,
             # so re-keying the touched rows' bucket entries keeps each index
@@ -373,10 +458,15 @@ class PGSession:
             return pg.cache_key() in self._cache
 
     def clear(self) -> None:
-        """Drop every cached sketch set and LSH index (stats are kept)."""
+        """Drop every cached sketch set and LSH index (stats are kept).
+
+        Store handles of mmap-loaded entries are closed; objects callers still
+        hold keep answering queries (their array views outlive the handle).
+        """
         with self._lock:
             self._cache.clear()
             self._lsh_cache.clear()
+            self._sweep_handles()
 
     def __len__(self) -> int:
         with self._lock:

@@ -44,6 +44,8 @@ Three contracts make this safe to use everywhere the single-process engine is:
 
 from __future__ import annotations
 
+import json
+import os
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -71,6 +73,18 @@ from ..parallel.distributed import CommunicationVolume, communication_volume
 from ..parallel.executor import chunked_ranges
 from ..sketches.base import NeighborhoodSketches, concat_sketch_rows
 from ..sketches.bloom import BloomNeighborhoodSketches
+from ..storage import (
+    StoreFormatError,
+    StoreHandle,
+    load_graph,
+    load_partition,
+    load_sketches,
+    save_graph,
+    save_partition,
+    save_sketches,
+    sketch_params_from_meta,
+    sketch_params_meta,
+)
 from .batch import record_query, record_topk, resolve_chunk_pairs
 from .lsh import (
     LSHIndex,
@@ -339,6 +353,7 @@ class ShardedEngine:
         self._comm_lock = _san.make_rlock("ShardedEngine.comm")
         self._patch_lock = _san.make_rlock("ShardedEngine.patch")
         self._closed = False
+        self._handles: list[StoreHandle] = []
         self._update_counts = np.zeros(self.num_shards, dtype=np.int64)
         self._lsh_indexes: "weakref.WeakSet[ShardedLSHIndex]" = weakref.WeakSet()
         self._last_patch: tuple[str, np.ndarray] | None = None
@@ -434,15 +449,19 @@ class ShardedEngine:
         """Release the engine: the well-defined end of its resource lifetime.
 
         Idempotent.  Shared-memory transport segments are already released by
-        the build's ``finally`` teardown; ``close()`` is where the reprosan
+        the build's ``finally`` teardown, and store handles attached by
+        :meth:`open` are closed here; ``close()`` is then where the reprosan
         lifecycle tracker audits that nothing owned by this engine is still
-        live (a segment leaked by an error path becomes a ``SAN601`` finding
-        here, with its allocation site).  After close, query and patch entry
-        points raise :class:`RuntimeError`.
+        live — a transport segment leaked by an error path or a store-opened
+        mmap handle left unreleased becomes a ``SAN601`` finding here, with
+        its acquisition site.  After close, query and patch entry points
+        raise :class:`RuntimeError`.
         """
         if self._closed:
             return
         self._closed = True
+        for handle in self._handles:
+            handle.close()
         _san.check_owner_segments(self)
 
     def __enter__(self) -> "ShardedEngine":
@@ -457,6 +476,166 @@ class ShardedEngine:
                 "this ShardedEngine is closed; build a new engine (or query "
                 "before leaving the `with` block)"
             )
+
+    # ------------------------------------------------------------ persistence
+    def save(self, root: str | os.PathLike[str]) -> str:
+        """Persist the engine into directory ``root`` for :meth:`open`.
+
+        Layout: ``manifest.json`` (session parameters and the graph
+        fingerprint), ``graph.pgsk`` (CSR adjacency), ``partition.pgsk``
+        (vertex ownership), and one ``shard_<i>.pgsk`` per shard container —
+        each a checksummed versioned block file
+        (:mod:`repro.storage.format`).  Saving is read-only with respect to
+        the engine and serialized against concurrent delta patches; the files
+        are byte-deterministic for a given engine state.  Returns ``root``.
+        """
+        self._ensure_open()
+        root = os.fspath(root)
+        os.makedirs(root, exist_ok=True)
+        with self._patch_lock:
+            fingerprint = self.graph.fingerprint()
+            save_graph(os.path.join(root, "graph.pgsk"), self.graph)
+            save_partition(os.path.join(root, "partition.pgsk"), self.partition)
+            for s, shard in enumerate(self._shards):
+                save_sketches(
+                    os.path.join(root, f"shard_{s}.pgsk"),
+                    shard,
+                    meta={
+                        "shard": s,
+                        "num_shards": self.num_shards,
+                        "fingerprint": fingerprint,
+                    },
+                )
+            manifest = {
+                "format": 1,
+                "kind": "sharded-engine",
+                "num_shards": self.num_shards,
+                "oriented": bool(self.oriented),
+                "seed": int(self.seed),
+                "storage_budget": float(self.storage_budget),
+                "estimator": self.estimator.value,
+                "sketch_params": sketch_params_meta(self.params),
+                "fingerprint": fingerprint,
+                "construction_seconds": float(self.construction_seconds),
+            }
+            tmp = os.path.join(root, "manifest.json.tmp")
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(manifest, f, indent=2, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, os.path.join(root, "manifest.json"))
+        return root
+
+    @classmethod
+    def open(
+        cls,
+        root: str | os.PathLike[str],
+        mode: str = "mmap",
+        estimator: EstimatorKind | str | None = None,
+    ) -> "ShardedEngine":
+        """Attach an engine to a directory written by :meth:`save`.
+
+        The cold-start counterpart of building: no process pool, no hashing —
+        the CSR adjacency and every shard container come straight from the
+        saved block files, zero-copy in ``"mmap"`` mode (``"eager"`` reads
+        them into process memory).  The opened engine answers every query
+        bit-identically to the engine that saved it; delta patches promote
+        the touched shard's mmap rows to writable copies lazily.  All store
+        handles are owned by the engine and released by :meth:`close`, where
+        the reprosan ledger audits them like shared-memory segments.
+
+        ``estimator`` overrides the saved default estimator; everything else
+        (representation, resolved sketch parameters, orientation, seed,
+        partition) is restored from the manifest and verified against the
+        per-file metadata and graph fingerprint
+        (:class:`~repro.storage.StoreFormatError` on any mismatch).
+        """
+        root = os.fspath(root)
+        # reprolint: allow[determinism] -- wall-clock timing stat only; never feeds hash/seed/sketch state
+        start = time.perf_counter()
+        manifest_path = os.path.join(root, "manifest.json")
+        with open(manifest_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+        if manifest.get("kind") != "sharded-engine" or manifest.get("format") != 1:
+            raise StoreFormatError(
+                f"{manifest_path}: not a v1 sharded-engine manifest "
+                f"(kind={manifest.get('kind')!r}, format={manifest.get('format')!r})"
+            )
+        num_shards = int(manifest["num_shards"])
+        fingerprint = str(manifest["fingerprint"])
+        engine = cls.__new__(cls)
+        engine._source = None
+        engine._source_version = -1
+        engine._closed = False
+        engine._handles = []
+        try:
+            graph, graph_handle = load_graph(
+                os.path.join(root, "graph.pgsk"), mode=mode, owner=engine
+            )
+            engine._handles.append(graph_handle)
+            if graph.fingerprint() != fingerprint:
+                raise StoreFormatError(
+                    f"{root}: stored adjacency fingerprint does not match the "
+                    f"manifest ({graph.fingerprint()[:12]}... != {fingerprint[:12]}...)"
+                )
+            partition = load_partition(os.path.join(root, "partition.pgsk"))
+            if partition.num_shards != num_shards:
+                raise StoreFormatError(
+                    f"{root}: partition has {partition.num_shards} shards, "
+                    f"manifest says {num_shards}"
+                )
+            if partition.owners.shape[0] != graph.num_vertices:
+                raise StoreFormatError(
+                    f"{root}: partition covers {partition.owners.shape[0]} "
+                    f"vertices, adjacency has {graph.num_vertices}"
+                )
+            shards: list[NeighborhoodSketches] = []
+            for s in range(num_shards):
+                shard, handle = load_sketches(
+                    os.path.join(root, f"shard_{s}.pgsk"), mode=mode, owner=engine
+                )
+                engine._handles.append(handle)
+                if (
+                    int(handle.meta.get("shard", -1)) != s
+                    or handle.meta.get("fingerprint") != fingerprint
+                ):
+                    raise StoreFormatError(
+                        f"{root}/shard_{s}.pgsk: shard metadata does not match "
+                        "the manifest (wrong shard index or graph fingerprint)"
+                    )
+                expected_rows = partition.shard_vertices[s].shape[0]
+                if shard.num_sets != expected_rows:
+                    raise StoreFormatError(
+                        f"{root}/shard_{s}.pgsk: {shard.num_sets} rows stored, "
+                        f"partition owns {expected_rows}"
+                    )
+                shards.append(shard)
+        except Exception:
+            engine._closed = True
+            for handle in engine._handles:
+                handle.close()
+            raise
+        engine.graph = graph
+        engine.storage_budget = float(manifest["storage_budget"])
+        engine.oriented = bool(manifest["oriented"])
+        engine.seed = int(manifest["seed"])
+        engine.params = sketch_params_from_meta(manifest["sketch_params"])
+        engine.estimator = (
+            check_estimator_kind(engine.params.representation, estimator)
+            if estimator is not None
+            else EstimatorKind(manifest["estimator"])
+        )
+        engine._base = graph.oriented() if engine.oriented else graph
+        engine.partition = partition
+        engine.family = engine.params.make_family(engine.seed)
+        engine.comm = ShardCommStats()
+        engine._comm_lock = _san.make_rlock("ShardedEngine.comm")
+        engine._patch_lock = _san.make_rlock("ShardedEngine.patch")
+        engine._update_counts = np.zeros(num_shards, dtype=np.int64)
+        engine._lsh_indexes = weakref.WeakSet()
+        engine._last_patch = None
+        engine._shards = shards
+        engine.construction_seconds = time.perf_counter() - start  # reprolint: allow[determinism] -- timing stat only
+        return engine
 
     # ------------------------------------------------------------- properties
     @property
@@ -717,6 +896,7 @@ class ShardedEngine:
             local_indptr, local_indices = slice_row_block(base.indptr, base.indices, vs)
             fresh = self.family.sketch_neighborhoods(local_indptr, local_indices)
             shard = self._shards[int(s)]
+            shard.promote_rows_writable()
             local = self.partition.local_index[vs]
             for name in shard._row_arrays:
                 getattr(shard, name)[local] = getattr(fresh, name)

@@ -5,10 +5,14 @@ HyperLogLog families along with their per-set and whole-graph batch containers.
 """
 
 from .base import (
+    ROW_MATRIX,
+    ROW_VECTOR,
+    ArraySpec,
     NeighborhoodSketches,
     SetSketch,
     SketchContainer,
     SketchFamily,
+    StorageSchema,
     as_id_array,
     concat_sketch_rows,
 )
@@ -37,6 +41,10 @@ SKETCH_CONTAINER_TYPES: tuple[type[SketchContainer], ...] = (
 )
 
 __all__ = [
+    "ROW_MATRIX",
+    "ROW_VECTOR",
+    "ArraySpec",
+    "StorageSchema",
     "SetSketch",
     "SketchFamily",
     "SketchContainer",

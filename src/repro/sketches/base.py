@@ -15,13 +15,18 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass
+from typing import Any, ClassVar, Iterable, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..graph.csr import ragged_gather
 
 __all__ = [
+    "ROW_MATRIX",
+    "ROW_VECTOR",
+    "ArraySpec",
+    "StorageSchema",
     "SetSketch",
     "SketchFamily",
     "SketchContainer",
@@ -30,6 +35,94 @@ __all__ = [
     "iter_count_groups",
     "concat_sketch_rows",
 ]
+
+#: Shape role of a schema array: one sketch row per set, ``(num_sets, width)``.
+ROW_MATRIX = "matrix"
+#: Shape role of a schema array: one scalar per set, ``(num_sets,)``.
+ROW_VECTOR = "vector"
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Declared layout of one per-row backing array of a sketch container.
+
+    ``name`` is the attribute holding the array, ``dtype`` its exact numpy
+    dtype (a canonical string such as ``"uint64"``), and ``role`` whether the
+    array is a ``(num_sets, width)`` matrix (:data:`ROW_MATRIX`) or a
+    ``(num_sets,)`` vector (:data:`ROW_VECTOR`).  The first axis is always the
+    sketch row, which is what makes row scatter-gather and per-array
+    persistence family-agnostic.
+    """
+
+    name: str
+    dtype: str
+    role: str = ROW_MATRIX
+
+    def __post_init__(self) -> None:
+        if self.role not in (ROW_MATRIX, ROW_VECTOR):
+            raise ValueError(f"unknown array role {self.role!r}")
+        # Canonicalize eagerly so a typo fails at class-definition time, not
+        # at the first save/load.
+        canonical = np.dtype(self.dtype).name
+        if canonical != self.dtype:
+            raise ValueError(f"dtype must be canonical ({canonical!r}), got {self.dtype!r}")
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+
+@dataclass(frozen=True)
+class StorageSchema:
+    """Explicit, introspectable storage contract of a sketch container class.
+
+    ``arrays`` declares every per-row backing array (first axis = sketch row);
+    ``params`` names the scalar family parameters two containers must share
+    for their rows to be comparable (sizes and hash seeds).  The schema drives
+    :meth:`NeighborhoodSketches.take_rows`, :func:`concat_sketch_rows`, shard
+    row scatter, and the versioned on-disk format of ``repro.storage`` — one
+    declaration per family instead of per-family serializers.
+    """
+
+    arrays: tuple[ArraySpec, ...] = ()
+    params: tuple[str, ...] = ()
+
+    @property
+    def row_arrays(self) -> tuple[str, ...]:
+        """Attribute names of the per-row arrays, in declaration order."""
+        return tuple(spec.name for spec in self.arrays)
+
+    def spec(self, name: str) -> ArraySpec:
+        for spec in self.arrays:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"schema declares no array named {name!r}")
+
+    def validate(self, container: "NeighborhoodSketches") -> None:
+        """Check that ``container``'s arrays match the declared dtypes/shapes."""
+        n = int(container.num_sets)
+        for spec in self.arrays:
+            arr = getattr(container, spec.name, None)
+            if not isinstance(arr, np.ndarray):
+                raise TypeError(
+                    f"{type(container).__name__}.{spec.name} is not an ndarray"
+                )
+            if arr.dtype != spec.np_dtype:
+                raise TypeError(
+                    f"{type(container).__name__}.{spec.name} has dtype {arr.dtype}, "
+                    f"schema declares {spec.dtype}"
+                )
+            want_ndim = 2 if spec.role == ROW_MATRIX else 1
+            if arr.ndim != want_ndim:
+                raise ValueError(
+                    f"{type(container).__name__}.{spec.name} has ndim {arr.ndim}, "
+                    f"role {spec.role!r} requires {want_ndim}"
+                )
+            if arr.shape[0] != n:
+                raise ValueError(
+                    f"{type(container).__name__}.{spec.name} has {arr.shape[0]} rows, "
+                    f"container holds {n} sets"
+                )
 
 
 def as_id_array(elements: Iterable[int] | np.ndarray) -> np.ndarray:
@@ -139,6 +232,8 @@ class SketchContainer(Protocol):
     ``family-contract`` rules of ``repro.analysis``.
     """
 
+    storage_schema: ClassVar[StorageSchema]
+
     @property
     def num_sets(self) -> int: ...
 
@@ -149,6 +244,12 @@ class SketchContainer(Protocol):
     def pair_scratch_bytes(self) -> int: ...
 
     def family_key(self) -> tuple: ...
+
+    def storage_arrays(self) -> dict[str, np.ndarray]: ...
+
+    def storage_params(self) -> dict[str, Any]: ...
+
+    def promote_rows_writable(self) -> bool: ...
 
     def cardinalities(self) -> np.ndarray: ...
 
@@ -189,15 +290,74 @@ class NeighborhoodSketches(abc.ABC):
     #: when a subclass does not override :attr:`pair_scratch_bytes`.
     _DEFAULT_PAIR_SCRATCH_BYTES = 64
 
-    #: Attribute names of the per-row backing arrays (first axis = sketch row).
-    #: Subclasses declare them to opt into :meth:`take_rows` /
-    #: :func:`concat_sketch_rows` — the row-scatter primitives the sharded
-    #: engine uses to move sketch rows between shard containers.
-    _row_arrays: tuple[str, ...] = ()
+    #: Declared storage contract: per-row backing arrays (name, dtype, shape
+    #: role) plus the scalar family parameters.  Subclasses declare it to opt
+    #: into :meth:`take_rows` / :func:`concat_sketch_rows` — the row-scatter
+    #: primitives of the sharded engine — and into the versioned on-disk
+    #: format of ``repro.storage``.  An empty schema opts out of both.
+    storage_schema: ClassVar[StorageSchema] = StorageSchema()
 
-    #: Attribute names of the scalar family parameters two containers must
-    #: share for their rows to be comparable (sizes and hash seeds).
-    _param_attrs: tuple[str, ...] = ()
+    @property
+    def _row_arrays(self) -> tuple[str, ...]:
+        """Attribute names of the per-row backing arrays (from the schema)."""
+        return self.storage_schema.row_arrays
+
+    @property
+    def _param_attrs(self) -> tuple[str, ...]:
+        """Attribute names of the scalar family parameters (from the schema)."""
+        return self.storage_schema.params
+
+    def storage_arrays(self) -> dict[str, np.ndarray]:
+        """The schema-declared row arrays by name, in schema order (no copies)."""
+        return {name: getattr(self, name) for name in self.storage_schema.row_arrays}
+
+    def storage_params(self) -> dict[str, Any]:
+        """The schema-declared scalar family parameters by name."""
+        return {name: getattr(self, name) for name in self.storage_schema.params}
+
+    @classmethod
+    def from_storage(
+        cls, arrays: Mapping[str, np.ndarray], params: Mapping[str, Any]
+    ) -> "NeighborhoodSketches":
+        """Reconstruct a container from schema-shaped arrays and parameters.
+
+        The inverse of :meth:`storage_arrays` / :meth:`storage_params`: every
+        family's constructor takes exactly the schema arrays and params by
+        their declared names, so one generic ``cls(**arrays, **params)`` call
+        replaces five per-family deserializers.  Arrays are installed as
+        given — pass ``np.memmap`` views for zero-copy loading; the first
+        mutating operation promotes them via :meth:`promote_rows_writable`.
+        """
+        schema = cls.storage_schema
+        if not schema.arrays:
+            raise NotImplementedError(f"{cls.__name__} does not declare a storage schema")
+        missing = [s.name for s in schema.arrays if s.name not in arrays]
+        missing += [p for p in schema.params if p not in params]
+        if missing:
+            raise ValueError(f"{cls.__name__}.from_storage is missing {missing}")
+        kwargs: dict[str, Any] = {spec.name: arrays[spec.name] for spec in schema.arrays}
+        kwargs.update({name: params[name] for name in schema.params})
+        container = cls(**kwargs)
+        schema.validate(container)
+        return container
+
+    def promote_rows_writable(self) -> bool:
+        """Replace read-only row arrays with in-memory writable copies.
+
+        Containers loaded zero-copy from a sketch store hold read-only
+        ``np.memmap`` views; the first in-place mutation (``apply_delta`` /
+        ``resketch_rows`` / shard row scatter) calls this to promote them.
+        Promotion copies each read-only array once, wholesale — subsequent
+        patches then write in place — and never touches arrays that are
+        already writable.  Returns whether anything was promoted.
+        """
+        promoted = False
+        for name in self.storage_schema.row_arrays:
+            arr = getattr(self, name)
+            if not arr.flags.writeable:
+                setattr(self, name, np.array(arr, copy=True))
+                promoted = True
+        return promoted
 
     def family_key(self) -> tuple:
         """Hashable compatibility identity: container type + family parameters.
@@ -412,6 +572,11 @@ def concat_sketch_rows(parts: Sequence[NeighborhoodSketches]) -> NeighborhoodSke
                 f"{first.family_key()} vs {other.family_key()}"
             )
     clone = copy.copy(first)
+    if len(parts) == 1:
+        # Single-part concat is the identity: share the backing arrays instead
+        # of paying an np.concatenate copy (which would also promote mmap-backed
+        # rows to heap memory for no reason).
+        return clone
     for name in first._row_arrays:
         setattr(clone, name, np.concatenate([getattr(p, name) for p in parts], axis=0))
     return clone

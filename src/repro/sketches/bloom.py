@@ -29,7 +29,17 @@ from ..core.estimators import (
     bf_intersection_or,
     bf_size_swamidass,
 )
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, ragged_gather
+from .base import (
+    ROW_MATRIX,
+    ROW_VECTOR,
+    ArraySpec,
+    NeighborhoodSketches,
+    SetSketch,
+    SketchFamily,
+    StorageSchema,
+    as_id_array,
+    ragged_gather,
+)
 from .hashing import HashFamily
 
 __all__ = ["BloomFilter", "BloomFamily", "BloomNeighborhoodSketches"]
@@ -226,8 +236,13 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
     inner loop.
     """
 
-    _row_arrays = ("words", "exact_sizes")
-    _param_attrs = ("num_bits", "num_hashes", "seed")
+    storage_schema = StorageSchema(
+        arrays=(
+            ArraySpec("words", "uint64", ROW_MATRIX),
+            ArraySpec("exact_sizes", "float64", ROW_VECTOR),
+        ),
+        params=("num_bits", "num_hashes", "seed"),
+    )
 
     def __init__(
         self,
@@ -321,6 +336,7 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
         )
         if vertices.size == 0:
             return
+        self.promote_rows_writable()
         owners = np.repeat(vertices, np.diff(delta_indptr))
         self._or_elements(owners, delta_indices)
         self.exact_sizes[vertices] = new_sizes
@@ -331,6 +347,7 @@ class BloomNeighborhoodSketches(NeighborhoodSketches):
             return
         if vertices.min() < 0 or vertices.max() >= self.num_sets:
             raise IndexError("resketch vertex out of range")
+        self.promote_rows_writable()
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         degrees = indptr[vertices + 1] - indptr[vertices]

@@ -30,7 +30,17 @@ from typing import Iterable
 import numpy as np
 
 from ..core.estimators import hll_intersection
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, ragged_gather
+from .base import (
+    ROW_MATRIX,
+    ROW_VECTOR,
+    ArraySpec,
+    NeighborhoodSketches,
+    SetSketch,
+    SketchFamily,
+    StorageSchema,
+    as_id_array,
+    ragged_gather,
+)
 from .hashing import splitmix64
 
 __all__ = [
@@ -189,8 +199,13 @@ class HyperLogLog(SetSketch):
 class HLLNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex HLL sketches of a graph, as an ``(n, 2**precision)`` uint8 matrix."""
 
-    _row_arrays = ("registers", "exact_sizes")
-    _param_attrs = ("precision", "seed")
+    storage_schema = StorageSchema(
+        arrays=(
+            ArraySpec("registers", "uint8", ROW_MATRIX),
+            ArraySpec("exact_sizes", "float64", ROW_VECTOR),
+        ),
+        params=("precision", "seed"),
+    )
 
     def __init__(self, registers: np.ndarray, precision: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.registers = registers
@@ -280,6 +295,7 @@ class HLLNeighborhoodSketches(NeighborhoodSketches):
         )
         if vertices.size == 0:
             return
+        self.promote_rows_writable()
         if delta_indices.size:
             idx, rank = register_updates(delta_indices, self.precision, self.seed)
             rows = np.repeat(vertices, np.diff(delta_indptr))
@@ -292,6 +308,7 @@ class HLLNeighborhoodSketches(NeighborhoodSketches):
             return
         if vertices.min() < 0 or vertices.max() >= self.num_sets:
             raise IndexError("resketch vertex out of range")
+        self.promote_rows_writable()
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         degrees = indptr[vertices + 1] - indptr[vertices]

@@ -15,7 +15,17 @@ from typing import Iterable
 import numpy as np
 
 from ..core.estimators import kmv_intersection, kmv_intersection_exact_sizes, kmv_size
-from .base import NeighborhoodSketches, SetSketch, SketchFamily, as_id_array, iter_count_groups
+from .base import (
+    ROW_MATRIX,
+    ROW_VECTOR,
+    ArraySpec,
+    NeighborhoodSketches,
+    SetSketch,
+    SketchFamily,
+    StorageSchema,
+    as_id_array,
+    iter_count_groups,
+)
 from .hashing import hash_to_unit
 
 __all__ = ["KMVSketch", "KMVFamily", "KMVNeighborhoodSketches"]
@@ -98,8 +108,13 @@ class KMVSketch(SetSketch):
 class KMVNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex KMV sketches of a graph, as an ``(n, k)`` sorted float matrix."""
 
-    _row_arrays = ("values", "exact_sizes")
-    _param_attrs = ("k", "seed")
+    storage_schema = StorageSchema(
+        arrays=(
+            ArraySpec("values", "float64", ROW_MATRIX),
+            ArraySpec("exact_sizes", "float64", ROW_VECTOR),
+        ),
+        params=("k", "seed"),
+    )
 
     def __init__(self, values: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.values = values
@@ -173,6 +188,7 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
         )
         if vertices.size == 0:
             return
+        self.promote_rows_writable()
         if delta_indices.size:
             hashes = hash_to_unit(delta_indices, self.seed)
             starts = delta_indptr[:-1]
@@ -190,6 +206,7 @@ class KMVNeighborhoodSketches(NeighborhoodSketches):
             return
         if vertices.min() < 0 or vertices.max() >= self.num_sets:
             raise IndexError("resketch vertex out of range")
+        self.promote_rows_writable()
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         degrees = indptr[vertices + 1] - indptr[vertices]

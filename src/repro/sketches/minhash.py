@@ -26,9 +26,13 @@ import numpy as np
 
 from ..core.estimators import minhash_intersection, minhash_jaccard
 from .base import (
+    ROW_MATRIX,
+    ROW_VECTOR,
+    ArraySpec,
     NeighborhoodSketches,
     SetSketch,
     SketchFamily,
+    StorageSchema,
     as_id_array,
     iter_count_groups,
     ragged_gather,
@@ -117,8 +121,13 @@ class KHashSignature(SetSketch):
 class KHashNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex k-hash signatures of a graph, as an ``(n, k)`` uint64 matrix."""
 
-    _row_arrays = ("signatures", "exact_sizes")
-    _param_attrs = ("k", "seed")
+    storage_schema = StorageSchema(
+        arrays=(
+            ArraySpec("signatures", "uint64", ROW_MATRIX),
+            ArraySpec("exact_sizes", "float64", ROW_VECTOR),
+        ),
+        params=("k", "seed"),
+    )
 
     def __init__(self, signatures: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.signatures = signatures
@@ -176,6 +185,7 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
         )
         if vertices.size == 0:
             return
+        self.promote_rows_writable()
         counts = np.diff(delta_indptr)
         nonempty = counts > 0
         if delta_indices.size:
@@ -193,6 +203,7 @@ class KHashNeighborhoodSketches(NeighborhoodSketches):
             return
         if vertices.min() < 0 or vertices.max() >= self.num_sets:
             raise IndexError("resketch vertex out of range")
+        self.promote_rows_writable()
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         degrees = indptr[vertices + 1] - indptr[vertices]
@@ -364,8 +375,13 @@ class BottomKSketch(SetSketch):
 class BottomKNeighborhoodSketches(NeighborhoodSketches):
     """All per-vertex bottom-k sketches of a graph, as an ``(n, k)`` sorted uint64 matrix."""
 
-    _row_arrays = ("values", "exact_sizes")
-    _param_attrs = ("k", "seed")
+    storage_schema = StorageSchema(
+        arrays=(
+            ArraySpec("values", "uint64", ROW_MATRIX),
+            ArraySpec("exact_sizes", "float64", ROW_VECTOR),
+        ),
+        params=("k", "seed"),
+    )
 
     def __init__(self, values: np.ndarray, k: int, seed: int, exact_sizes: np.ndarray) -> None:
         self.values = values
@@ -475,6 +491,7 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
         )
         if vertices.size == 0:
             return
+        self.promote_rows_writable()
         if delta_indices.size:
             hashes = splitmix64(delta_indices, self.seed)
             starts = delta_indptr[:-1]
@@ -492,6 +509,7 @@ class BottomKNeighborhoodSketches(NeighborhoodSketches):
             return
         if vertices.min() < 0 or vertices.max() >= self.num_sets:
             raise IndexError("resketch vertex out of range")
+        self.promote_rows_writable()
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         degrees = indptr[vertices + 1] - indptr[vertices]

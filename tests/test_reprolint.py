@@ -166,6 +166,81 @@ class TestFamilyContract:
         assert codes("class Helper:\n    def grow(self, n):\n        pass\n") == []
 
 
+# The explicit storage-schema declaration form (the refactored containers).
+_SCHEMA_CONTAINER = """
+    import numpy as np
+    from repro.sketches.base import ROW_MATRIX, ROW_VECTOR, ArraySpec, StorageSchema
+
+    class GoodSketches:
+        storage_schema = StorageSchema(
+            arrays=(
+                ArraySpec("rows", "uint64", ROW_MATRIX),
+                ArraySpec("exact_sizes", "float64", ROW_VECTOR),
+            ),
+            params=("k", "seed"),
+        )
+
+        def __init__(self, rows, k, seed, exact_sizes):
+            self.rows = rows
+            self.k = k
+            self.seed = seed
+            self.exact_sizes = exact_sizes
+
+        def apply_delta(self, vertices, delta_indptr, delta_indices, new_sizes):
+            pass
+
+        def resketch_rows(self, vertices, indptr, indices):
+            pass
+
+        def grow(self, num_sets):
+            pass
+"""
+
+
+class TestSchemaFamilyContract:
+    """The contract rules read ``storage_schema = StorageSchema(...)`` too."""
+
+    def test_clean_schema_container_is_quiet(self):
+        assert codes(_SCHEMA_CONTAINER) == []
+
+    def test_schema_without_params_fires(self):
+        bad = _SCHEMA_CONTAINER.replace('params=("k", "seed"),', "params=(),")
+        found = lint_source(textwrap.dedent(bad))
+        assert [f.code for f in found] == ["REPRO201"]
+        assert "storage_schema" in found[0].message
+
+    def test_schema_missing_contract_method_fires(self):
+        bad = _SCHEMA_CONTAINER.replace(
+            "def grow(self, num_sets):\n            pass", ""
+        )
+        assert "REPRO202" in codes(bad)
+
+    def test_schema_signature_drift_fires(self):
+        bad = _SCHEMA_CONTAINER.replace(
+            "def resketch_rows(self, vertices, indptr, indices):",
+            "def resketch_rows(self, verts, ptr, idx):",
+        )
+        assert codes(bad) == ["REPRO203"]
+
+    def test_schema_unassigned_row_array_fires(self):
+        bad = _SCHEMA_CONTAINER.replace("self.exact_sizes = exact_sizes\n", "")
+        assert codes(bad) == ["REPRO204"]
+
+    def test_keyword_name_arrayspec_is_recognized(self):
+        bad = _SCHEMA_CONTAINER.replace(
+            'ArraySpec("exact_sizes", "float64", ROW_VECTOR)',
+            'ArraySpec(name="exact_sizes", dtype="float64", role=ROW_VECTOR)',
+        ).replace("self.exact_sizes = exact_sizes\n", "")
+        assert codes(bad) == ["REPRO204"]
+
+    def test_computed_schema_opts_out(self):
+        computed = """
+            class Dynamic:
+                storage_schema = make_schema()
+        """
+        assert codes(computed) == []
+
+
 # ---------------------------------------------------------------------------
 # dtype discipline (REPRO301)
 # ---------------------------------------------------------------------------
@@ -506,6 +581,52 @@ class TestResourceLifecycle:
                     self._pool = ProcessPoolExecutor()
         """
         assert codes(bad) == ["REPRO601"]
+
+    def test_memmap_counts_as_acquisition(self):
+        bad = """
+            import numpy as np
+
+            class Store:
+                def __init__(self, path):
+                    self._rows = np.memmap(path, dtype=np.uint64, mode="r")
+        """
+        assert codes(bad) == ["REPRO601"]
+
+    def test_memmap_with_close_is_quiet(self):
+        good = """
+            import numpy as np
+
+            class Store:
+                def __init__(self, path):
+                    self._rows = np.memmap(path, dtype=np.uint64, mode="r")
+
+                def close(self):
+                    self._rows = None
+        """
+        assert codes(good) == []
+
+    def test_memmap_return_escape_is_quiet(self):
+        # The storage layer's _map_block shape: ownership passes to the
+        # caller (the StoreHandle that tracks and releases the mapping).
+        good = """
+            import numpy as np
+
+            def map_block(path, dtype, offset, shape):
+                mm = np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+                return mm
+        """
+        assert codes(good) == []
+
+    def test_local_memmap_without_escape_fires(self):
+        bad = """
+            import numpy as np
+
+            def peek(path):
+                mm = np.memmap(path, dtype=np.uint64, mode="r")
+                first = int(mm[0])
+                return first
+        """
+        assert "REPRO601" in codes(bad)
 
 
 # ---------------------------------------------------------------------------
